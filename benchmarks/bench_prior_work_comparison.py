@@ -1,0 +1,43 @@
+"""Benchmark E3 — prior-work comparison (Sec. III-B in-text table).
+
+Reproduces the paper's comparison against Ye et al. [6]: the fine-tuned
+model (fast sigmoid, ``beta = 0.7``, ``theta = 1.5``) on the sparsity-aware
+platform versus the default-hyperparameter model on the prior-work (dense,
+time-multiplexed) accelerator.  The paper reports a **1.72x** FPS/W gain
+with no accuracy degradation.
+"""
+
+from __future__ import annotations
+
+from repro.core.comparison import format_comparison_table, run_prior_work_comparison
+
+from .conftest import run_once
+
+
+def test_prior_work_efficiency_comparison(benchmark, repro_scale, results_store):
+    def run():
+        return run_prior_work_comparison(scale_preset=repro_scale.name)
+
+    comparison = run_once(benchmark, run)
+
+    print()
+    print(f"[prior-work comparison] repro scale: {repro_scale.name}")
+    print(format_comparison_table(comparison))
+
+    results_store.add(
+        "prior_work_comparison",
+        f"scale={repro_scale.name}",
+        {
+            "efficiency_gain_vs_prior": comparison.efficiency_gain,
+            "efficiency_gain_from_tuning": comparison.efficiency_gain_from_tuning,
+            "tuned_accuracy": comparison.tuned.accuracy,
+            "default_accuracy": comparison.default.accuracy,
+            "accuracy_delta": comparison.accuracy_delta,
+            "tuned_fps_per_watt": comparison.tuned.hardware.fps_per_watt,
+            "prior_fps_per_watt": comparison.prior_hardware.fps_per_watt,
+        },
+    )
+
+    # Shape check: the tuned model on the sparsity-aware platform must beat
+    # the prior dense accelerator by a clear margin (paper: 1.72x).
+    assert comparison.efficiency_gain > 1.0

@@ -1,0 +1,91 @@
+"""Benchmark E6 — substrate micro-benchmarks.
+
+Engineering baselines for the building blocks every experiment relies on:
+autograd convolution, LIF stepping, BPTT through the paper's network, the
+synthetic dataset generator and the analytical hardware model.  Unlike the
+experiment benchmarks these use pytest-benchmark's statistical timing
+(multiple rounds) because each operation is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.network import SpikingCNN
+from repro.data.synth_svhn import SynthSVHNConfig, generate_digit_image
+from repro.encoding import RateEncoder
+from repro.hardware import SparsityAwareAccelerator, workload_from_layer_specs
+from repro.neurons import LIF
+from repro.surrogate import FastSigmoid
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((8, 3, 32, 32)).astype(np.float32), requires_grad=True)
+    w = Tensor(rng.standard_normal((32, 3, 3, 3)).astype(np.float32) * 0.1, requires_grad=True)
+    return x, w
+
+
+def test_conv2d_forward_throughput(benchmark, conv_inputs):
+    x, w = conv_inputs
+    benchmark(lambda: x.conv2d(w, None, stride=1, padding=1))
+
+
+def test_conv2d_forward_backward_throughput(benchmark, conv_inputs):
+    x, w = conv_inputs
+
+    def step():
+        out = x.conv2d(w, None, stride=1, padding=1)
+        out.sum().backward()
+        x.zero_grad()
+        w.zero_grad()
+
+    benchmark(step)
+
+
+def test_lif_step_throughput(benchmark):
+    lif = LIF(beta=0.5, threshold=1.0, surrogate=FastSigmoid(0.25))
+    drive = Tensor(np.random.default_rng(1).random((32, 4096)).astype(np.float32))
+    benchmark(lambda: lif.step(drive))
+
+
+def test_spiking_cnn_forward_step(benchmark):
+    model = SpikingCNN(image_size=32, conv_channels=(32, 32), hidden_units=256, seed=0)
+    frame = Tensor(np.random.default_rng(2).random((4, 3, 32, 32)).astype(np.float32))
+    model.eval()
+
+    def step():
+        model.reset_spiking_state()
+        return model.step(frame)
+
+    benchmark(step)
+
+
+def test_rate_encoder_throughput(benchmark):
+    encoder = RateEncoder(num_steps=10, seed=0)
+    images = np.random.default_rng(3).random((32, 3, 32, 32)).astype(np.float32)
+    benchmark(lambda: encoder(images))
+
+
+def test_synth_svhn_generation_rate(benchmark):
+    rng = np.random.default_rng(4)
+    config = SynthSVHNConfig()
+    benchmark(lambda: generate_digit_image(int(rng.integers(0, 10)), rng, config))
+
+
+def test_hardware_model_evaluation_cost(benchmark):
+    specs = [
+        {"name": "conv1", "kind": "conv", "in_channels": 3, "out_channels": 32,
+         "kernel_size": 3, "out_h": 32, "out_w": 32},
+        {"name": "conv2", "kind": "conv", "in_channels": 32, "out_channels": 32,
+         "kernel_size": 3, "out_h": 16, "out_w": 16},
+        {"name": "fc1", "kind": "fc", "in_features": 2048, "out_features": 256},
+        {"name": "fc2", "kind": "fc", "in_features": 256, "out_features": 10},
+    ]
+    firing = {"conv1": 3000.0, "conv2": 800.0, "fc1": 30.0, "fc2": 2.0}
+    workload = workload_from_layer_specs(specs, firing, num_steps=25, input_events_per_step=1500.0)
+    accelerator = SparsityAwareAccelerator()
+    benchmark(lambda: accelerator.run(workload))

@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every experiment benchmark (Figure 1, Figure 2, prior-work comparison,
+ablations) runs at the ``bench`` reproduction scale by default; set
+``REPRO_SCALE=full`` or ``REPRO_SCALE=paper`` to run closer to the published
+configuration (slower).  Each benchmark prints the reproduced figure/table to
+stdout (run pytest with ``-s`` to see it) and appends its headline numbers to
+``benchmarks/results/measured.json`` so EXPERIMENTS.md can be refreshed from
+actual runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import resolve_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def repro_scale():
+    """The reproduction scale preset used by every experiment benchmark."""
+    return resolve_scale(os.environ.get("REPRO_SCALE"))
+
+
+@pytest.fixture(scope="session")
+def results_store():
+    """Session-wide JSON store for measured headline numbers."""
+    from repro.core.results import ResultStore
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return ResultStore(RESULTS_DIR / "measured.json")
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark timing.
+
+    The experiment benchmarks train multiple networks; repeating them for
+    statistical timing would multiply the runtime for no benefit, so each is
+    executed a single time and the wall-clock time is what pytest-benchmark
+    reports.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

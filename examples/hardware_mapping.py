@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Hardware-architect scenario: map one trained model onto several platforms.
+
+Shows the hardware side of the library in isolation: a single trained model
+is profiled once and then mapped onto
+
+* the paper's sparsity-aware lock-step accelerator,
+* a sparsity-oblivious (dense) configuration of the same platform,
+* the prior-work accelerator model (Ye et al., TCAD 2022), and
+* a sweep of PE budgets on the sparsity-aware platform,
+
+reporting latency, power, FPS/W and FPGA resource utilisation for each.
+
+Run:
+    python examples/hardware_mapping.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import ExperimentConfig, resolve_scale, run_experiment
+from repro.hardware import (
+    AcceleratorConfig,
+    DenseBaselineAccelerator,
+    PriorWorkAccelerator,
+    SparsityAwareAccelerator,
+    evaluate_on_hardware,
+    format_comparison,
+)
+
+
+def main() -> None:
+    scale = resolve_scale(os.environ.get("REPRO_SCALE"))
+    config = ExperimentConfig(
+        surrogate="fast_sigmoid", surrogate_scale=0.25, beta=0.7, threshold=1.5,
+        scale=scale, label="fine-tuned model",
+    )
+    print(f"training the model once at scale '{scale.name}' ...")
+    record = run_experiment(config)
+    workload = record.hardware.run.workload
+    accuracy = record.accuracy
+
+    print("\nworkload extracted from the trained model:")
+    for layer in workload:
+        print(
+            f"  {layer.name:6s} {layer.kind:4s} neurons={layer.num_neurons:6d} "
+            f"dense MACs/step={layer.dense_macs_per_step:9d} "
+            f"events/step={layer.avg_input_events_per_step:8.1f} "
+            f"density={layer.input_density:.2%}"
+        )
+    print(f"  network sparsity: {workload.overall_sparsity():.1%}")
+
+    reports = {
+        "sparsity-aware (paper)": evaluate_on_hardware(workload, SparsityAwareAccelerator(), accuracy),
+        "dense baseline": evaluate_on_hardware(workload, DenseBaselineAccelerator(), accuracy),
+        "prior work [6]": evaluate_on_hardware(workload, PriorWorkAccelerator(), accuracy),
+    }
+    print()
+    print(format_comparison(reports, baseline_key="prior work [6]",
+                            title="Same trained model on three platforms"))
+
+    print("\nPE-budget sweep on the sparsity-aware platform:")
+    print(f"  {'PEs':>6} {'latency_ms':>12} {'FPS':>10} {'FPS/W':>10} {'LUT util':>9}")
+    for total_pes in (256, 512, 1024, 2048, 4096):
+        accelerator = SparsityAwareAccelerator(AcceleratorConfig(total_pes=total_pes))
+        run = accelerator.run(workload)
+        util = run.resources.utilisation()["luts"]
+        print(
+            f"  {total_pes:>6} {run.latency_ms:>12.4f} {run.fps:>10.1f} "
+            f"{run.fps_per_watt:>10.1f} {util:>8.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

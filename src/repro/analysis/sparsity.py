@@ -1,0 +1,134 @@
+"""Firing-rate / sparsity profiling of trained spiking models.
+
+The hardware model consumes *average spike events per timestep per sample*
+for the network input and for every spiking layer.  This module measures
+those quantities by running the trained model over (a sample of) the test
+set with statistics recording enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.dataloader import DataLoader
+from repro.encoding.base import Encoder
+from repro.neurons.base import SpikingNeuron
+from repro.nn.module import Module
+
+
+@dataclass
+class SparsityProfile:
+    """Measured spiking activity of a trained model.
+
+    Attributes
+    ----------
+    layer_events_per_step:
+        Average output spike events per timestep per sample, keyed by the
+        spiking layer's name in the model.
+    input_events_per_step:
+        Average encoder spike events per timestep per sample.
+    layer_neuron_counts:
+        Number of neurons per spiking layer (for firing-rate normalisation).
+    num_steps:
+        Timesteps used during profiling.
+    samples_profiled:
+        Number of samples the averages were taken over.
+    """
+
+    layer_events_per_step: Dict[str, float]
+    input_events_per_step: float
+    layer_neuron_counts: Dict[str, int]
+    num_steps: int
+    samples_profiled: int
+
+    def firing_rate(self, layer_name: str) -> float:
+        """Average spikes per neuron per timestep for one layer."""
+        neurons = self.layer_neuron_counts.get(layer_name, 0)
+        if neurons == 0:
+            return 0.0
+        return self.layer_events_per_step[layer_name] / neurons
+
+    def average_firing_rate(self) -> float:
+        """Network-wide average spikes per neuron per timestep."""
+        total_neurons = sum(self.layer_neuron_counts.values())
+        if total_neurons == 0:
+            return 0.0
+        total_events = sum(self.layer_events_per_step.values())
+        return total_events / total_neurons
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {f"events/{name}": value for name, value in self.layer_events_per_step.items()}
+        out["input_events_per_step"] = self.input_events_per_step
+        out["average_firing_rate"] = self.average_firing_rate()
+        return out
+
+
+def profile_sparsity(
+    model: Module,
+    encoder: Encoder,
+    loader: DataLoader,
+    max_batches: Optional[int] = None,
+) -> SparsityProfile:
+    """Measure per-layer firing rates of ``model`` on data from ``loader``.
+
+    The model must expose named spiking layers (any model whose neuron layers
+    are registered submodules does).  Statistics are averaged per sample and
+    per timestep so they are independent of batch size.
+
+    Parameters
+    ----------
+    model:
+        Trained spiking classifier.
+    encoder:
+        The same encoder used at training/evaluation time.
+    loader:
+        Data to profile over (typically the test loader).
+    max_batches:
+        Optional cap on the number of batches (profiling cost control).
+    """
+    model.eval()
+    spiking_layers = [
+        (name, module) for name, module in model.named_modules() if isinstance(module, SpikingNeuron)
+    ]
+    if not spiking_layers:
+        raise ValueError("model contains no spiking layers to profile")
+
+    layer_events = {name: 0.0 for name, _ in spiking_layers}
+    neuron_counts = {name: 0 for name, _ in spiking_layers}
+    input_events = 0.0
+    total_samples = 0
+    batches = 0
+
+    with no_grad():
+        for images, _labels in loader:
+            model.reset_spiking_state()
+            spikes = encoder(images)
+            input_events += float(spikes.sum())
+            model(Tensor(spikes))
+            batch_size = images.shape[0]
+            total_samples += batch_size
+            for name, module in spiking_layers:
+                layer_events[name] += module.total_spikes()
+                neuron_counts[name] = module.state.element_count // max(batch_size, 1)
+            batches += 1
+            if max_batches is not None and batches >= max_batches:
+                break
+
+    if total_samples == 0:
+        raise ValueError("loader yielded no samples to profile")
+
+    steps = encoder.num_steps
+    per_step = {
+        name: events / (total_samples * steps) for name, events in layer_events.items()
+    }
+    return SparsityProfile(
+        layer_events_per_step=per_step,
+        input_events_per_step=input_events / (total_samples * steps),
+        layer_neuron_counts=neuron_counts,
+        num_steps=steps,
+        samples_profiled=total_samples,
+    )

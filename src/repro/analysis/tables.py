@@ -1,0 +1,44 @@
+"""Aligned ASCII tables for terminal reporting."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render rows as an aligned text table.
+
+    Floats are formatted with ``float_format``; every other value uses
+    ``str``.  Column widths adapt to the longest cell.
+    """
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows: List[List[str]] = [[render(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells but there are {len(headers)} headers")
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(format_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Differentiable function base classes for the autograd engine.
+
+Every differentiable operation is implemented as a subclass of
+:class:`Function` with two static methods:
+
+``forward(ctx, *args, **kwargs)``
+    Computes the output ``numpy`` array(s).  Anything needed for the backward
+    pass is stashed on the :class:`Context` via ``ctx.save_for_backward`` or
+    plain attribute assignment.
+
+``backward(ctx, grad_output)``
+    Receives the gradient of the loss with respect to the op's output and
+    returns a tuple of gradients with respect to each *tensor* input (``None``
+    for non-differentiable inputs).
+
+Applying a Function via :meth:`Function.apply` unwraps tensor inputs to raw
+arrays, runs ``forward``, wraps the result in a new
+:class:`~repro.autograd.tensor.Tensor`, and records the graph edge when
+gradients are enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Context:
+    """Per-call scratch space shared between ``forward`` and ``backward``."""
+
+    __slots__ = ("_saved", "__dict__")
+
+    def __init__(self) -> None:
+        self._saved: Tuple[Any, ...] = ()
+
+    def save_for_backward(self, *values: Any) -> None:
+        """Store arbitrary values needed by the backward pass."""
+        self._saved = values
+
+    @property
+    def saved(self) -> Tuple[Any, ...]:
+        """Values previously stored with :meth:`save_for_backward`."""
+        return self._saved
+
+
+class Node:
+    """A recorded application of a :class:`Function` in the computation graph."""
+
+    __slots__ = ("fn", "ctx", "inputs", "output_ref")
+
+    def __init__(self, fn: "type[Function]", ctx: Context, inputs: Sequence[Any]) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        # Keep references to input Tensors so the backward pass can route
+        # gradients; non-tensor inputs are kept as None placeholders so the
+        # positional correspondence with ``backward``'s return tuple holds.
+        self.inputs = tuple(inputs)
+        self.output_ref: Optional[Any] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.fn.__name__})"
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement ``forward`` and ``backward`` as static methods and
+    are invoked through :meth:`apply`.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, *args: Any, **kwargs: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any, **kwargs: Any):
+        """Run the op, wrap the result, and record the graph edge if needed."""
+        from repro.autograd.tensor import Tensor, is_grad_enabled
+
+        ctx = Context()
+        raw_args = []
+        tensor_inputs = []
+        any_requires_grad = False
+        for a in args:
+            if isinstance(a, Tensor):
+                raw_args.append(a.data)
+                tensor_inputs.append(a)
+                if a.requires_grad:
+                    any_requires_grad = True
+            else:
+                raw_args.append(a)
+                tensor_inputs.append(None)
+
+        out_data = cls.forward(ctx, *raw_args, **kwargs)
+        requires_grad = any_requires_grad and is_grad_enabled()
+        out = Tensor(out_data, requires_grad=requires_grad)
+        if requires_grad:
+            node = Node(cls, ctx, tensor_inputs)
+            out._node = node
+        return out
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting.
+
+    Gradients of broadcasted operands must be reduced over the broadcast
+    dimensions so that ``param.grad.shape == param.shape`` always holds.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)

@@ -1,0 +1,157 @@
+"""2-D convolution and pooling operations (im2col based).
+
+These are the computational workhorses of the paper's convolutional SNN
+(`32C3-MP2-32C3-MP2-256-10`).  The forward/backward passes use an
+``as_strided`` im2col lowering so convolution becomes a single large matrix
+product, which keeps per-timestep BPTT affordable in pure NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.autograd.function import Context, Function
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Lower an NCHW tensor to column form.
+
+    Returns an array of shape ``(N, C, KH, KW, OH, OW)`` that is a *view*
+    into ``x`` (no copy), suitable for a tensordot against the kernel.
+    """
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh, sw, sh * stride, sw * stride)
+    return as_strided(x, shape=shape, strides=strides)
+
+
+def conv_output_shape(h: int, w: int, kernel: int, stride: int, padding: int) -> Tuple[int, int]:
+    """Spatial output size of a square-kernel convolution."""
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    return oh, ow
+
+
+class Conv2d(Function):
+    """Cross-correlation (``stride`` and symmetric zero ``padding``).
+
+    Input ``x``: ``(N, C_in, H, W)``; weight: ``(C_out, C_in, KH, KW)``;
+    optional bias ``(C_out,)``.  Output: ``(N, C_out, OH, OW)``.
+    """
+
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> np.ndarray:
+        if padding > 0:
+            xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        else:
+            xp = x
+        c_out, c_in, kh, kw = weight.shape
+        cols = _im2col(xp, kh, kw, stride)
+        # (N, C, KH, KW, OH, OW) x (C_out, C, KH, KW) -> (N, OH, OW, C_out)
+        out = np.tensordot(cols, weight, axes=([1, 2, 3], [1, 2, 3]))
+        out = out.transpose(0, 3, 1, 2)
+        if bias is not None:
+            out = out + bias[None, :, None, None]
+        ctx.save_for_backward(xp, weight, bias is not None, stride, padding, x.shape)
+        return np.ascontiguousarray(out)
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray):
+        xp, weight, has_bias, stride, padding, x_shape = ctx.saved
+        c_out, c_in, kh, kw = weight.shape
+        n, _, hp, wp = xp.shape
+        go = np.asarray(grad_output)
+        _, _, oh, ow = go.shape
+
+        cols = _im2col(xp, kh, kw, stride)
+        # Weight gradient: correlate input columns with the output gradient.
+        # (N, C, KH, KW, OH, OW) x (N, C_out, OH, OW) -> (C_out, C, KH, KW)
+        grad_w = np.tensordot(go, cols, axes=([0, 2, 3], [0, 4, 5]))
+
+        # Input gradient: scatter the weighted output gradient back.
+        # (N, C_out, OH, OW) x (C_out, C, KH, KW) -> (N, OH, OW, C, KH, KW)
+        grad_cols = np.tensordot(go, weight, axes=([1], [0]))
+        grad_xp = np.zeros_like(xp)
+        # Accumulate each kernel offset in a vectorised slice-add.
+        for i in range(kh):
+            for j in range(kw):
+                grad_xp[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += (
+                    grad_cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+                )
+        if padding > 0:
+            h, w = x_shape[2], x_shape[3]
+            grad_x = grad_xp[:, :, padding : padding + h, padding : padding + w]
+        else:
+            grad_x = grad_xp
+        grad_b = go.sum(axis=(0, 2, 3)) if has_bias else None
+        return grad_x, grad_w, grad_b, None, None
+
+
+class MaxPool2d(Function):
+    """Non-overlapping max pooling (kernel == stride), as used in the paper."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, kernel: int = 2) -> np.ndarray:
+        n, c, h, w = x.shape
+        oh, ow = h // kernel, w // kernel
+        trimmed = x[:, :, : oh * kernel, : ow * kernel]
+        windows = trimmed.reshape(n, c, oh, kernel, ow, kernel)
+        out = windows.max(axis=(3, 5))
+        # Mask of max positions for the backward scatter (ties split evenly).
+        expanded = out[:, :, :, None, :, None]
+        mask = (windows == expanded).astype(x.dtype)
+        mask /= np.maximum(mask.sum(axis=(3, 5), keepdims=True), 1.0)
+        ctx.save_for_backward(mask, x.shape, kernel)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray):
+        mask, x_shape, kernel = ctx.saved
+        n, c, h, w = x_shape
+        oh, ow = h // kernel, w // kernel
+        go = np.asarray(grad_output)[:, :, :, None, :, None]
+        grad_trimmed = (mask * go).reshape(n, c, oh * kernel, ow * kernel)
+        if oh * kernel == h and ow * kernel == w:
+            return grad_trimmed, None
+        grad = np.zeros(x_shape, dtype=grad_trimmed.dtype)
+        grad[:, :, : oh * kernel, : ow * kernel] = grad_trimmed
+        return grad, None
+
+
+class AvgPool2d(Function):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, kernel: int = 2) -> np.ndarray:
+        n, c, h, w = x.shape
+        oh, ow = h // kernel, w // kernel
+        trimmed = x[:, :, : oh * kernel, : ow * kernel]
+        windows = trimmed.reshape(n, c, oh, kernel, ow, kernel)
+        ctx.save_for_backward(x.shape, kernel)
+        return windows.mean(axis=(3, 5))
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray):
+        x_shape, kernel = ctx.saved
+        n, c, h, w = x_shape
+        oh, ow = h // kernel, w // kernel
+        go = np.asarray(grad_output) / (kernel * kernel)
+        grad_trimmed = np.repeat(np.repeat(go, kernel, axis=2), kernel, axis=3)
+        if oh * kernel == h and ow * kernel == w:
+            return grad_trimmed, None
+        grad = np.zeros(x_shape, dtype=grad_trimmed.dtype)
+        grad[:, :, : oh * kernel, : ow * kernel] = grad_trimmed
+        return grad, None

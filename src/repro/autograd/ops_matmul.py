@@ -1,0 +1,67 @@
+"""Matrix multiplication and linear-algebra operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Context, Function, unbroadcast
+
+
+class MatMul(Function):
+    """Batched matrix product following NumPy ``@`` semantics.
+
+    Supports the 2-D case used by fully connected layers as well as batched
+    operands (leading broadcast dimensions).
+    """
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ctx.save_for_backward(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray):
+        a, b = ctx.saved
+        if a.ndim == 1 and b.ndim == 1:
+            # Inner product: grad is scalar.
+            return grad_output * b, grad_output * a
+        if a.ndim == 1:
+            a_mat = a[None, :]
+            grad_a = (grad_output[None, :] @ np.swapaxes(b, -1, -2))[0]
+            grad_b = a_mat.T @ grad_output[None, :]
+            return grad_a, unbroadcast(grad_b, np.shape(b))
+        if b.ndim == 1:
+            grad_a = grad_output[..., :, None] @ b[None, :]
+            grad_b = np.swapaxes(a, -1, -2) @ grad_output[..., :, None]
+            grad_b = grad_b[..., 0]
+            return unbroadcast(grad_a, np.shape(a)), unbroadcast(grad_b, np.shape(b))
+        grad_a = grad_output @ np.swapaxes(b, -1, -2)
+        grad_b = np.swapaxes(a, -1, -2) @ grad_output
+        return unbroadcast(grad_a, np.shape(a)), unbroadcast(grad_b, np.shape(b))
+
+
+class Linear(Function):
+    """Fused affine transform ``x @ W.T + b`` used by dense layers.
+
+    Fusing keeps the graph small during backpropagation-through-time where
+    the same layer is applied at every timestep.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
+        ctx.save_for_backward(x, weight, bias is not None)
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray):
+        x, weight, has_bias = ctx.saved
+        grad_x = grad_output @ weight
+        # Collapse any leading batch dimensions for the weight gradient.
+        go2 = grad_output.reshape(-1, grad_output.shape[-1])
+        x2 = x.reshape(-1, x.shape[-1])
+        grad_w = go2.T @ x2
+        grad_b = go2.sum(axis=0) if has_bias else None
+        return grad_x, grad_w, grad_b

@@ -1,0 +1,373 @@
+"""The :class:`Tensor` type at the heart of the autograd engine.
+
+A ``Tensor`` wraps a ``numpy.ndarray`` and, when ``requires_grad=True``,
+records every operation applied to it in a computation graph.  Calling
+:meth:`Tensor.backward` on a scalar result walks the graph in reverse
+topological order and accumulates gradients on every leaf tensor.
+
+The API deliberately mirrors the small subset of PyTorch that snnTorch-style
+spiking networks use, so the rest of the reproduction reads like familiar
+deep-learning code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import ops_conv, ops_elementwise, ops_matmul, ops_reduce, ops_shape
+from repro.autograd.function import Node
+
+_GRAD_ENABLED = True
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently being recorded."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "requires_grad", "grad", "_node")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, dtype=None) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data, dtype=dtype)
+        if arr.dtype.kind in "iub" and dtype is None:
+            # Promote integers to float so gradients are representable,
+            # but leave explicit dtypes (e.g. label arrays) alone.
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._node: Optional[Node] = None
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def detach(self) -> "Tensor":
+        """A view of the same values with no gradient history."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor to every leaf that requires grad.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar loss with respect to this tensor.  If
+            omitted, this tensor must be a scalar and a gradient of 1.0 is
+            used.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a scalar tensor; "
+                    f"got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topologically order the graph reachable from this tensor.
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(t: "Tensor") -> None:
+            if id(t) in visited or t._node is None:
+                return
+            visited.add(id(t))
+            for parent in t._node.inputs:
+                if isinstance(parent, Tensor):
+                    visit(parent)
+            topo.append(t)
+
+        visit(self)
+
+        grads = {id(self): grad}
+        for t in reversed(topo):
+            node = t._node
+            grad_out = grads.pop(id(t), None)
+            if grad_out is None:
+                continue
+            input_grads = node.fn.backward(node.ctx, grad_out)
+            if not isinstance(input_grads, tuple):
+                input_grads = (input_grads,)
+            for parent, g in zip(node.inputs, input_grads):
+                if parent is None or g is None or not isinstance(parent, Tensor):
+                    continue
+                if not (parent.requires_grad or parent._node is not None):
+                    continue
+                g = np.asarray(g)
+                if parent._node is None:
+                    # Leaf: accumulate into .grad
+                    if parent.requires_grad:
+                        if parent.grad is None:
+                            parent.grad = g.astype(parent.data.dtype, copy=True)
+                        else:
+                            parent.grad = parent.grad + g
+                else:
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = g if existing is None else existing + g
+        # Leaves with requires_grad that *are* this tensor itself.
+        if self._node is None and self.requires_grad:
+            if self.grad is None:
+                self.grad = np.asarray(grad, dtype=self.data.dtype).copy()
+            else:
+                self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic operators
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other):
+        return ops_elementwise.Add.apply(self, self._coerce(other))
+
+    def __radd__(self, other):
+        return ops_elementwise.Add.apply(self._coerce(other), self)
+
+    def __sub__(self, other):
+        return ops_elementwise.Sub.apply(self, self._coerce(other))
+
+    def __rsub__(self, other):
+        return ops_elementwise.Sub.apply(self._coerce(other), self)
+
+    def __mul__(self, other):
+        return ops_elementwise.Mul.apply(self, self._coerce(other))
+
+    def __rmul__(self, other):
+        return ops_elementwise.Mul.apply(self._coerce(other), self)
+
+    def __truediv__(self, other):
+        return ops_elementwise.Div.apply(self, self._coerce(other))
+
+    def __rtruediv__(self, other):
+        return ops_elementwise.Div.apply(self._coerce(other), self)
+
+    def __neg__(self):
+        return ops_elementwise.Neg.apply(self)
+
+    def __pow__(self, exponent: float):
+        return ops_elementwise.Pow.apply(self, float(exponent))
+
+    def __matmul__(self, other):
+        return ops_matmul.MatMul.apply(self, self._coerce(other))
+
+    # Comparisons produce plain (non-differentiable) tensors.
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data > other).astype(self.data.dtype))
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data >= other).astype(self.data.dtype))
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data < other).astype(self.data.dtype))
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data <= other).astype(self.data.dtype))
+
+    def __getitem__(self, index):
+        if isinstance(index, Tensor):
+            index = index.data
+        return ops_shape.GetItem.apply(self, index)
+
+    # ------------------------------------------------------------------ #
+    # Math methods
+    # ------------------------------------------------------------------ #
+    def exp(self):
+        return ops_elementwise.Exp.apply(self)
+
+    def log(self):
+        return ops_elementwise.Log.apply(self)
+
+    def sqrt(self):
+        return ops_elementwise.Sqrt.apply(self)
+
+    def abs(self):
+        return ops_elementwise.Abs.apply(self)
+
+    def relu(self):
+        return ops_elementwise.ReLU.apply(self)
+
+    def sigmoid(self):
+        return ops_elementwise.Sigmoid.apply(self)
+
+    def tanh(self):
+        return ops_elementwise.Tanh.apply(self)
+
+    def clip(self, lo: float, hi: float):
+        return ops_elementwise.Clip.apply(self, float(lo), float(hi))
+
+    def maximum(self, other):
+        return ops_elementwise.Maximum.apply(self, self._coerce(other))
+
+    def sum(self, axis=None, keepdims: bool = False):
+        return ops_reduce.Sum.apply(self, axis, keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        return ops_reduce.Mean.apply(self, axis, keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        return ops_reduce.Max.apply(self, axis, keepdims)
+
+    def min(self, axis=None, keepdims: bool = False):
+        return ops_reduce.Min.apply(self, axis, keepdims)
+
+    def logsumexp(self):
+        return ops_reduce.LogSumExp.apply(self)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops_shape.Reshape.apply(self, shape)
+
+    def transpose(self, *axes):
+        if len(axes) == 0:
+            axes = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops_shape.Transpose.apply(self, axes)
+
+    def flatten(self):
+        """Flatten everything after the batch dimension."""
+        return ops_shape.Flatten.apply(self)
+
+    def broadcast_to(self, shape):
+        return ops_shape.Broadcast.apply(self, tuple(shape))
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # Neural-network helpers (delegated to ops modules)
+    # ------------------------------------------------------------------ #
+    def conv2d(self, weight: "Tensor", bias: Optional["Tensor"] = None, stride: int = 1, padding: int = 0):
+        return ops_conv.Conv2d.apply(self, weight, bias, stride, padding)
+
+    def max_pool2d(self, kernel: int = 2):
+        return ops_conv.MaxPool2d.apply(self, kernel)
+
+    def avg_pool2d(self, kernel: int = 2):
+        return ops_conv.AvgPool2d.apply(self, kernel)
+
+    def linear(self, weight: "Tensor", bias: Optional["Tensor"] = None):
+        return ops_matmul.Linear.apply(self, weight, bias)
+
+
+# ---------------------------------------------------------------------- #
+# Free functions
+# ---------------------------------------------------------------------- #
+def tensor(data: ArrayLike, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Create a :class:`Tensor` (mirrors ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def randn(*shape, requires_grad: bool = False, rng: Optional[np.random.Generator] = None, dtype=np.float32) -> Tensor:
+    gen = rng if rng is not None else np.random.default_rng()
+    return Tensor(gen.standard_normal(shape).astype(dtype), requires_grad=requires_grad)
+
+
+def rand(*shape, requires_grad: bool = False, rng: Optional[np.random.Generator] = None, dtype=np.float32) -> Tensor:
+    gen = rng if rng is not None else np.random.default_rng()
+    return Tensor(gen.random(shape).astype(dtype), requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.arange(*args, dtype=dtype), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    return ops_shape.Concatenate.apply(*tensors, axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (used to collect per-timestep outputs)."""
+    return ops_shape.Stack.apply(*tensors, axis=axis)
+
+
+def where(condition: Union[Tensor, np.ndarray], a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable elementwise selection."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    return ops_elementwise.Where.apply(cond.astype(bool), a, b)

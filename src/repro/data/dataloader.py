@@ -1,0 +1,68 @@
+"""Batched data loading."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+class DataLoader:
+    """Iterates a dataset in (optionally shuffled) mini-batches.
+
+    Yields ``(images, labels)`` pairs where ``images`` is a float32 array of
+    shape ``(B, ...)`` and ``labels`` an int64 array of shape ``(B,)``.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Reshuffle sample order at the start of every epoch.
+    drop_last:
+        Drop the final incomplete batch (useful for fixed-shape benchmarks).
+    seed:
+        Seed for the shuffle generator; each epoch advances the stream so
+        epochs see different orders while the whole run stays reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            images = []
+            labels = []
+            for i in idx:
+                img, lab = self.dataset[int(i)]
+                images.append(np.asarray(img, dtype=np.float32))
+                labels.append(lab)
+            yield np.stack(images), np.asarray(labels, dtype=np.int64)

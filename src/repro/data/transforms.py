@@ -1,0 +1,104 @@
+"""Image transforms (minimal torchvision.transforms analogue)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class ToFloat:
+    """Convert to float32 in [0, 1] (divides by 255 for integer inputs)."""
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        if image.dtype.kind in "iu":
+            return image.astype(np.float32) / 255.0
+        return image.astype(np.float32)
+
+    def __repr__(self) -> str:
+        return "ToFloat()"
+
+
+class Normalize:
+    """Per-channel normalisation followed by rescaling back to [0, 1].
+
+    Spike encoders expect inputs in ``[0, 1]``, so unlike torchvision this
+    transform first standardises with the given mean/std and then min-max
+    rescales the result into the unit interval.
+    """
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=np.float32)
+        standardised = (image - self.mean) / self.std
+        lo, hi = standardised.min(), standardised.max()
+        if hi - lo < 1e-8:
+            return np.zeros_like(standardised)
+        return (standardised - lo) / (hi - lo)
+
+    def __repr__(self) -> str:
+        return f"Normalize(mean={self.mean.reshape(-1).tolist()}, std={self.std.reshape(-1).tolist()})"
+
+
+class RandomCrop:
+    """Random crop with zero padding (training-time augmentation)."""
+
+    def __init__(self, size: int, padding: int = 2, seed: Optional[int] = None) -> None:
+        if size <= 0 or padding < 0:
+            raise ValueError("invalid RandomCrop parameters")
+        self.size = int(size)
+        self.padding = int(padding)
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        c, h, w = image.shape
+        padded = np.pad(image, ((0, 0), (self.padding, self.padding), (self.padding, self.padding)))
+        max_y = padded.shape[1] - self.size
+        max_x = padded.shape[2] - self.size
+        y = int(self._rng.integers(0, max_y + 1))
+        x = int(self._rng.integers(0, max_x + 1))
+        return padded[:, y : y + self.size, x : x + self.size]
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(size={self.size}, padding={self.padding})"
+
+
+class RandomHorizontalShift:
+    """Small random horizontal shift (digits must not be mirrored)."""
+
+    def __init__(self, max_shift: int = 2, seed: Optional[int] = None) -> None:
+        if max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        self.max_shift = int(max_shift)
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.max_shift == 0:
+            return image
+        shift = int(self._rng.integers(-self.max_shift, self.max_shift + 1))
+        return np.roll(image, shift, axis=-1)
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalShift(max_shift={self.max_shift})"

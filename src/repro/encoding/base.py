@@ -1,0 +1,47 @@
+"""Encoder interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Encoder:
+    """Converts a batch of static inputs into a spike (or current) sequence.
+
+    Subclasses implement :meth:`encode`, which maps an array of shape
+    ``(N, ...)`` with values in ``[0, 1]`` to a sequence of shape
+    ``(T, N, ...)``.
+
+    Parameters
+    ----------
+    num_steps:
+        Number of simulation timesteps ``T``.
+    seed:
+        Seed for the encoder's private random generator (stochastic encoders
+        only), so repeated evaluations of the same model are reproducible.
+    """
+
+    name = "encoder"
+
+    def __init__(self, num_steps: int = 10, seed: Optional[int] = None) -> None:
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        self.num_steps = int(num_steps)
+        self._rng = np.random.default_rng(seed)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.size and (x.min() < -1e-6 or x.max() > 1.0 + 1e-6):
+            raise ValueError(
+                "encoder inputs must be normalised to [0, 1]; "
+                f"got range [{x.min():.3f}, {x.max():.3f}]"
+            )
+        return self.encode(np.clip(x, 0.0, 1.0))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_steps={self.num_steps})"

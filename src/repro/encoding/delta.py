@@ -1,0 +1,47 @@
+"""Delta-modulation encoding."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+
+
+class DeltaEncoder(Encoder):
+    """Delta modulation: spike when the input changes by more than a threshold.
+
+    For static images the "signal" over time is synthesised by linearly
+    ramping from zero to the pixel intensity across the timestep window, so
+    high-contrast pixels generate more threshold crossings.  This mimics the
+    event-driven front end of a DVS-style sensor while remaining applicable
+    to frame datasets.
+
+    Parameters
+    ----------
+    num_steps:
+        Number of timesteps.
+    delta_threshold:
+        Change in intensity required to emit a spike.
+    """
+
+    name = "delta"
+
+    def __init__(self, num_steps: int = 10, delta_threshold: float = 0.1, seed: Optional[int] = None) -> None:
+        super().__init__(num_steps=num_steps, seed=seed)
+        if delta_threshold <= 0:
+            raise ValueError(f"delta_threshold must be positive, got {delta_threshold}")
+        self.delta_threshold = float(delta_threshold)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        ramp = np.linspace(0.0, 1.0, self.num_steps + 1, dtype=np.float32)
+        signal = ramp.reshape((-1,) + (1,) * x.ndim) * x[None]
+        accumulated = np.zeros_like(x, dtype=np.float32)
+        out = np.zeros((self.num_steps,) + x.shape, dtype=np.float32)
+        for t in range(self.num_steps):
+            diff = signal[t + 1] - accumulated
+            fired = diff >= self.delta_threshold
+            out[t] = fired.astype(np.float32)
+            accumulated = accumulated + fired * self.delta_threshold
+        return out

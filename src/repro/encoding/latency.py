@@ -1,0 +1,45 @@
+"""Latency (time-to-first-spike) encoding."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+
+
+class LatencyEncoder(Encoder):
+    """Time-to-first-spike coding: brighter pixels fire earlier, exactly once.
+
+    The spike time is a linear mapping of intensity onto the timestep range:
+    intensity 1.0 fires at ``t = 0`` and intensity near 0 fires at the last
+    step (or never, if ``threshold`` cuts it off).  Produces at most one
+    spike per element, so it is the sparsest of the standard encoders.
+
+    Parameters
+    ----------
+    num_steps:
+        Number of timesteps.
+    threshold:
+        Elements with intensity below this value never fire.
+    """
+
+    name = "latency"
+
+    def __init__(self, num_steps: int = 10, threshold: float = 0.01, seed: Optional[int] = None) -> None:
+        super().__init__(num_steps=num_steps, seed=seed)
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must lie in [0, 1), got {threshold}")
+        self.threshold = float(threshold)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.num_steps,) + x.shape, dtype=np.float32)
+        fires = x >= self.threshold
+        # Linear latency: t = (1 - intensity) * (T - 1), rounded down.
+        times = np.floor((1.0 - x) * (self.num_steps - 1)).astype(np.int64)
+        times = np.clip(times, 0, self.num_steps - 1)
+        idx = np.nonzero(fires)
+        if idx[0].size:
+            out[(times[idx],) + idx] = 1.0
+        return out

@@ -1,0 +1,42 @@
+"""Rate (Bernoulli) spike encoding."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+
+
+class RateEncoder(Encoder):
+    """Bernoulli rate coding: pixel intensity becomes spike probability.
+
+    At every timestep each input element fires independently with probability
+    equal to its normalised intensity (optionally scaled by ``gain``).  This
+    is snnTorch's ``spikegen.rate`` and the encoding assumed by the paper.
+
+    Parameters
+    ----------
+    num_steps:
+        Number of timesteps.
+    gain:
+        Multiplier applied to intensities before sampling (clipped to 1).
+        Lower gains sparsify the input spike train.
+    seed:
+        RNG seed for reproducible spike trains.
+    """
+
+    name = "rate"
+
+    def __init__(self, num_steps: int = 10, gain: float = 1.0, seed: Optional[int] = None) -> None:
+        super().__init__(num_steps=num_steps, seed=seed)
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.gain = float(gain)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        prob = np.clip(x * self.gain, 0.0, 1.0)
+        shape = (self.num_steps,) + prob.shape
+        uniform = self._rng.random(shape, dtype=np.float32)
+        return (uniform < prob[None]).astype(np.float32)

@@ -1,0 +1,86 @@
+"""Model of the prior-work comparison accelerator (Ye et al., TCAD 2022).
+
+The paper compares its fine-tuned model + in-house platform against
+reference [6]: a neuromorphic accelerator supporting MLP and CNN topologies
+that runs the *same network architecture on the same dataset*, but is not
+sparsity-aware in its dataflow and was trained with conventional (untuned)
+hyperparameters.  Two numbers from that comparison anchor the reproduction:
+
+* the prior work's accuracy is the horizontal green line in Figure 1 that
+  the tuned models beat, and
+* the fine-tuned configuration (``beta=0.7``, ``theta=1.5``, fast sigmoid)
+  achieves **1.72x** the prior work's FPS/W.
+
+We model the prior accelerator as a dense, time-multiplexed design with a
+fixed PE array at a comparable clock.  Its absolute FPS/W is derived from the
+same power/latency models (so the comparison is apples-to-apples within the
+reproduction) with the dense execution path and a less aggressive resource
+allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import AcceleratorConfig, AcceleratorRun, DenseBaselineAccelerator
+from repro.hardware.power import PowerModel
+from repro.hardware.workload import NetworkWorkload
+
+
+@dataclass(frozen=True)
+class PriorWorkReference:
+    """Published characteristics used to anchor the comparison.
+
+    Attributes
+    ----------
+    accuracy:
+        Classification accuracy the prior work reports for the
+        32C3-MP2-32C3-MP2-256-10 network on SVHN (the green line in Fig. 1).
+        The paper states its tuned models exceed this line.
+    name:
+        Citation tag.
+    """
+
+    accuracy: float = 0.82
+    name: str = "Ye et al., TCAD 2022 [6]"
+
+
+#: Default reference values for the prior work.
+PRIOR_WORK_REFERENCE = PriorWorkReference()
+
+
+class PriorWorkAccelerator(DenseBaselineAccelerator):
+    """Dense, time-multiplexed accelerator standing in for reference [6].
+
+    Differences from the paper's platform, reflected in the model:
+
+    * dense execution (no event skipping), so compute does not shrink with
+      sparsity;
+    * a smaller PE array that is time-multiplexed across layers rather than
+      pipelined per layer, modelled by a lower total PE budget and a higher
+      lock-step synchronisation overhead;
+    * a slightly lower clock target.
+    """
+
+    def __init__(self, reference: PriorWorkReference = PRIOR_WORK_REFERENCE) -> None:
+        config = AcceleratorConfig(
+            clock_hz=150e6,
+            total_pes=512,
+            neuron_update_parallelism=32,
+            sparsity_aware=False,
+        )
+        # The prior design keeps activations in wider buffers and fetches
+        # weights per MAC, so its per-operation energy is higher.
+        power_model = PowerModel(
+            static_w_base=0.7,
+            energy_per_dense_mac_j=13.0e-12,
+            energy_per_neuron_update_j=7.0e-12,
+            clock_w_per_mhz=0.0034,
+        )
+        super().__init__(config=config, power_model=power_model)
+        self.reference = reference
+
+    @property
+    def reference_accuracy(self) -> float:
+        """Accuracy of the prior work (the Figure 1 green line)."""
+        return self.reference.accuracy

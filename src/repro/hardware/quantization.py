@@ -1,0 +1,110 @@
+"""Post-training weight quantization for FPGA deployment.
+
+The modelled accelerator stores weights on-chip at reduced precision (the
+resource model assumes 8-bit weights).  This module provides the software
+side of that deployment step: symmetric per-tensor integer quantization of a
+trained model's weights, a measure of the induced quantization error, and a
+helper that evaluates the accuracy cost so the deployment flow can verify
+that the paper's hyperparameter conclusions survive quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Symmetric per-tensor quantization settings.
+
+    Attributes
+    ----------
+    weight_bits:
+        Integer precision for weights (the accelerator model assumes 8).
+    clip_percentile:
+        Percentile of ``|w|`` used as the clipping range (100 = max-abs).
+        Clipping slightly below the maximum trades a little saturation error
+        for a finer step size on the bulk of the distribution.
+    """
+
+    weight_bits: int = 8
+    clip_percentile: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.weight_bits <= 32:
+            raise ValueError("weight_bits must lie in [2, 32]")
+        if not 0.0 < self.clip_percentile <= 100.0:
+            raise ValueError("clip_percentile must lie in (0, 100]")
+
+    @property
+    def levels(self) -> int:
+        """Number of representable signed levels on each side of zero."""
+        return 2 ** (self.weight_bits - 1) - 1
+
+
+def quantize_array(values: np.ndarray, config: QuantizationConfig) -> Tuple[np.ndarray, float]:
+    """Quantize one array; returns the dequantized array and the scale used."""
+    magnitude = np.percentile(np.abs(values), config.clip_percentile)
+    if magnitude == 0:
+        return np.zeros_like(values), 0.0
+    scale = magnitude / config.levels
+    quantized = np.clip(np.round(values / scale), -config.levels, config.levels)
+    return (quantized * scale).astype(values.dtype), float(scale)
+
+
+@dataclass
+class QuantizationReport:
+    """Outcome of quantizing a model's weights.
+
+    Attributes
+    ----------
+    scales:
+        Per-parameter quantization scales.
+    mean_squared_error:
+        MSE between original and quantized weights, averaged over parameters.
+    max_abs_error:
+        Largest absolute weight perturbation introduced.
+    weight_bits:
+        Precision used.
+    """
+
+    scales: Dict[str, float]
+    mean_squared_error: float
+    max_abs_error: float
+    weight_bits: int
+
+
+def quantize_model(model: Module, config: QuantizationConfig = QuantizationConfig()) -> QuantizationReport:
+    """Quantize every parameter of ``model`` in place (fake-quantization).
+
+    Weights are rounded to the integer grid and written back in floating
+    point (the standard deploy-time "fake quantization"), so the quantized
+    model can be evaluated with the existing inference path while behaving
+    exactly like the integer weights the accelerator would store.
+    """
+    scales: Dict[str, float] = {}
+    total_sq_error = 0.0
+    total_count = 0
+    max_abs_error = 0.0
+    for name, param in model.named_parameters():
+        original = param.data.copy()
+        quantized, scale = quantize_array(param.data, config)
+        param.data[...] = quantized
+        scales[name] = scale
+        error = quantized - original
+        total_sq_error += float((error ** 2).sum())
+        total_count += error.size
+        if error.size:
+            max_abs_error = max(max_abs_error, float(np.abs(error).max()))
+    mse = total_sq_error / total_count if total_count else 0.0
+    return QuantizationReport(
+        scales=scales,
+        mean_squared_error=mse,
+        max_abs_error=max_abs_error,
+        weight_bits=config.weight_bits,
+    )

@@ -1,0 +1,131 @@
+"""FPGA resource model (LUT / FF / DSP / BRAM utilisation estimates).
+
+The estimates are calibrated to the Kintex UltraScale+ family the paper
+targets (KU3P/KU5P class).  They matter for the reproduction in two ways:
+the mapper must not exceed the device, and BRAM requirements scale with the
+weight memory of the model, which constrains how many PEs can be deployed —
+both effects the paper's "ultra-low power resource allocation scheme"
+navigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.hardware.workload import NetworkWorkload
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """Capacity of a target FPGA device."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    dsp_slices: int
+    bram_kbits: int
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.flip_flops, self.dsp_slices, self.bram_kbits) <= 0:
+            raise ValueError("device capacities must be positive")
+
+
+#: Kintex UltraScale+ KU5P-class device (the paper's platform family).
+KINTEX_ULTRASCALE_PLUS = FPGAResources(
+    name="Kintex UltraScale+ (KU5P class)",
+    luts=216_960,
+    flip_flops=433_920,
+    dsp_slices=1_824,
+    bram_kbits=16_890,
+)
+
+
+@dataclass(frozen=True)
+class ResourceCostModel:
+    """Per-unit resource costs of the accelerator's building blocks.
+
+    Attributes
+    ----------
+    luts_per_pe / ffs_per_pe / dsps_per_pe:
+        Logic cost of one synaptic processing element (accumulator + weight
+        fetch + event decode).  Spike-driven PEs do additions rather than
+        multiplications, so the DSP cost is fractional (shared).
+    luts_per_neuron_unit / ffs_per_neuron_unit:
+        Cost of one parallel neuron-update unit (leak multiply, compare,
+        reset).
+    weight_bits:
+        Weight precision in bits (8-bit quantised weights on-chip).
+    membrane_bits:
+        Membrane potential precision in bits.
+    control_luts / control_ffs:
+        Fixed cost of the lock-step controller and event routers.
+    """
+
+    luts_per_pe: float = 55.0
+    ffs_per_pe: float = 70.0
+    dsps_per_pe: float = 0.125
+    luts_per_neuron_unit: float = 90.0
+    ffs_per_neuron_unit: float = 110.0
+    weight_bits: int = 8
+    membrane_bits: int = 16
+    control_luts: float = 12_000.0
+    control_ffs: float = 18_000.0
+
+
+@dataclass
+class ResourceUsage:
+    """Estimated utilisation of the target device."""
+
+    luts: float
+    flip_flops: float
+    dsp_slices: float
+    bram_kbits: float
+    device: FPGAResources
+
+    def utilisation(self) -> Dict[str, float]:
+        """Fractional utilisation per resource class."""
+        return {
+            "luts": self.luts / self.device.luts,
+            "flip_flops": self.flip_flops / self.device.flip_flops,
+            "dsp_slices": self.dsp_slices / self.device.dsp_slices,
+            "bram_kbits": self.bram_kbits / self.device.bram_kbits,
+        }
+
+    def fits(self) -> bool:
+        """Whether the design fits on the device."""
+        return all(v <= 1.0 for v in self.utilisation().values())
+
+    def max_utilisation(self) -> float:
+        return max(self.utilisation().values())
+
+
+def estimate_resources(
+    workload: NetworkWorkload,
+    pe_allocation: Mapping[str, int],
+    neuron_update_parallelism: int = 64,
+    device: FPGAResources = KINTEX_ULTRASCALE_PLUS,
+    cost_model: ResourceCostModel = ResourceCostModel(),
+) -> ResourceUsage:
+    """Estimate FPGA resource usage for a mapped network.
+
+    PE logic scales with the total allocated PEs, neuron-update logic with the
+    per-layer parallel update width, and BRAM with stored weights plus
+    membrane state (everything is kept on-chip in the paper's design to avoid
+    DRAM energy).
+    """
+    total_pes = sum(int(pe_allocation[layer.name]) for layer in workload.layers)
+    n_layers = len(workload.layers)
+
+    luts = cost_model.control_luts + total_pes * cost_model.luts_per_pe
+    ffs = cost_model.control_ffs + total_pes * cost_model.ffs_per_pe
+    luts += n_layers * neuron_update_parallelism * cost_model.luts_per_neuron_unit
+    ffs += n_layers * neuron_update_parallelism * cost_model.ffs_per_neuron_unit
+    dsps = total_pes * cost_model.dsps_per_pe + n_layers * neuron_update_parallelism * 0.25
+
+    weight_kbits = workload.total_weights * cost_model.weight_bits / 1000.0
+    membrane_kbits = workload.total_neurons * cost_model.membrane_bits / 1000.0
+    spike_buffer_kbits = 2 * workload.total_neurons / 1000.0  # double-buffered binary spikes
+    bram = weight_kbits + membrane_kbits + spike_buffer_kbits
+
+    return ResourceUsage(luts=luts, flip_flops=ffs, dsp_slices=dsps, bram_kbits=bram, device=device)

@@ -1,0 +1,24 @@
+"""Spiking neuron models.
+
+The paper's network uses leaky integrate-and-fire (LIF) neurons whose
+dynamics are given by Eq. 1–2:
+
+.. math::
+
+    u_j[t+1] = \\beta u_j[t] + \\sum_i w_{ij} s_i[t] - s_j[t]\\theta
+
+    s_j[t] = 1 \\text{ if } u_j[t] > \\theta \\text{ else } 0
+
+:class:`LIF` implements exactly this model (soft reset by subtraction, the
+default, or hard reset to zero).  :class:`IF` is the non-leaky special case
+(``beta = 1``) and :class:`SynapticLIF` adds a second-order synaptic current
+state, both used by the extension experiments.
+"""
+
+from repro.neurons.base import NeuronState, SpikingNeuron
+from repro.neurons.lif import LIF
+from repro.neurons.if_neuron import IF
+from repro.neurons.synaptic import SynapticLIF
+from repro.neurons.adaptive import AdaptiveLIF
+
+__all__ = ["SpikingNeuron", "NeuronState", "LIF", "IF", "SynapticLIF", "AdaptiveLIF"]

@@ -1,0 +1,98 @@
+"""Adaptive-threshold LIF neuron (ALIF) — extension experiment substrate.
+
+The paper treats the firing threshold ``theta`` as a static hyperparameter.
+A natural follow-up (named in its future-work direction of exploring more
+hyperparameters) is a threshold that *adapts* to recent activity: every spike
+raises the effective threshold by ``adaptation_step`` and the increment
+decays with factor ``adaptation_decay``, which throttles highly active
+neurons and spreads activity — a hardware-friendly sparsification knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import Tensor, zeros
+from repro.neurons.base import SpikingNeuron
+from repro.surrogate.base import SurrogateFunction, spike
+
+
+class AdaptiveLIF(SpikingNeuron):
+    r"""LIF neuron with spike-triggered threshold adaptation.
+
+    .. math::
+
+        a[t+1] &= \rho\, a[t] + s[t] \\
+        \theta_{eff}[t] &= \theta + b\, a[t] \\
+        u[t+1] &= \beta\, u[t] + I_{syn}[t] - s[t]\,\theta_{eff}[t]
+
+    Parameters
+    ----------
+    beta, threshold, surrogate, reset_mechanism:
+        As for :class:`~repro.neurons.LIF`.
+    adaptation_step:
+        Threshold increment ``b`` added per emitted spike.
+    adaptation_decay:
+        Decay factor ``rho`` of the adaptation variable, in ``[0, 1]``.
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.25,
+        threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        reset_mechanism: str = "subtract",
+        adaptation_step: float = 0.2,
+        adaptation_decay: float = 0.9,
+    ) -> None:
+        super().__init__(beta=beta, threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)
+        if adaptation_step < 0:
+            raise ValueError("adaptation_step must be non-negative")
+        if not 0.0 <= adaptation_decay <= 1.0:
+            raise ValueError("adaptation_decay must lie in [0, 1]")
+        self.adaptation_step = float(adaptation_step)
+        self.adaptation_decay = float(adaptation_decay)
+        self._adaptation: Optional[Tensor] = None
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._adaptation = None
+
+    @property
+    def adaptation(self) -> Optional[Tensor]:
+        """Current adaptation variable ``a`` (``None`` before the first step)."""
+        return self._adaptation
+
+    def effective_threshold(self) -> Optional[Tensor]:
+        """Per-neuron effective threshold ``theta + b * a``."""
+        if self._adaptation is None:
+            return None
+        return self._adaptation * self.adaptation_step + self.threshold
+
+    def step(self, synaptic_input: Tensor) -> Tensor:
+        if self.state.mem is None or self.state.mem.shape != synaptic_input.shape:
+            self.state.mem = zeros(synaptic_input.shape, dtype=synaptic_input.dtype)
+            self._adaptation = zeros(synaptic_input.shape, dtype=synaptic_input.dtype)
+
+        mem = self.state.mem * self.beta + synaptic_input
+        theta_eff = self._adaptation.detach() * self.adaptation_step + self.threshold
+        # The spike operator takes a scalar threshold; centre the membrane by
+        # the adaptive offset so the comparison is against theta_eff.
+        centred = mem - (theta_eff - self.threshold)
+        spikes = spike(centred, self.threshold, self.surrogate)
+
+        if self.reset_mechanism == "subtract":
+            mem = mem - spikes.detach() * theta_eff
+        elif self.reset_mechanism == "zero":
+            mem = mem * (1.0 - spikes.detach())
+
+        self._adaptation = self._adaptation * self.adaptation_decay + spikes.detach()
+        self.state.mem = mem
+        self._record(spikes)
+        return spikes
+
+    def extra_repr(self) -> str:
+        return (
+            super().extra_repr()
+            + f", adaptation_step={self.adaptation_step}, adaptation_decay={self.adaptation_decay}"
+        )

@@ -1,0 +1,118 @@
+"""Common machinery for spiking neuron layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.surrogate.base import SurrogateFunction
+from repro.surrogate.fast_sigmoid import FastSigmoid
+
+
+@dataclass
+class NeuronState:
+    """Mutable per-sequence state carried across timesteps by a neuron layer.
+
+    Attributes
+    ----------
+    mem:
+        Membrane potential tensor (part of the autograd graph during BPTT).
+    syn:
+        Optional synaptic current for second-order neurons.
+    spike_count:
+        Cumulative number of emitted spikes (plain float, used for sparsity
+        statistics and the hardware workload model).
+    step_count:
+        Number of timesteps processed (for firing-rate normalisation).
+    """
+
+    mem: Optional[Tensor] = None
+    syn: Optional[Tensor] = None
+    spike_count: float = 0.0
+    element_count: int = 0
+    step_count: int = 0
+
+
+class SpikingNeuron(Module):
+    """Base class for stateful spiking neuron layers.
+
+    Subclasses implement :meth:`step` which consumes the synaptic input for
+    one timestep and returns the emitted spikes.  The layer tracks spike
+    statistics so the hardware model can later derive per-layer firing rates
+    without re-running the network.
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.25,
+        threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        reset_mechanism: str = "subtract",
+        learn_beta: bool = False,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must lie in [0, 1], got {beta}")
+        if threshold <= 0.0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if reset_mechanism not in ("subtract", "zero", "none"):
+            raise ValueError(f"unknown reset mechanism '{reset_mechanism}'")
+        self.beta = float(beta)
+        self.threshold = float(threshold)
+        self.surrogate = surrogate if surrogate is not None else FastSigmoid()
+        self.reset_mechanism = reset_mechanism
+        self.learn_beta = learn_beta
+        self.state = NeuronState()
+        self._record_stats = True
+
+    # ------------------------------------------------------------------ #
+    def reset_state(self) -> None:
+        """Clear membrane state and spike statistics before a new sequence."""
+        self.state = NeuronState()
+
+    def detach_state(self) -> None:
+        """Cut the BPTT graph at the current state (truncated BPTT)."""
+        if self.state.mem is not None:
+            self.state.mem = self.state.mem.detach()
+        if self.state.syn is not None:
+            self.state.syn = self.state.syn.detach()
+
+    def set_record_statistics(self, flag: bool) -> None:
+        """Enable/disable spike-count bookkeeping (off inside benchmarks)."""
+        self._record_stats = bool(flag)
+
+    # ------------------------------------------------------------------ #
+    def firing_rate(self) -> float:
+        """Average spikes per neuron per timestep since the last reset."""
+        denom = self.state.element_count * max(self.state.step_count, 1)
+        if denom == 0:
+            return 0.0
+        return self.state.spike_count / denom
+
+    def total_spikes(self) -> float:
+        """Total spikes emitted since the last reset (summed over batch)."""
+        return self.state.spike_count
+
+    def _record(self, spikes: Tensor) -> None:
+        if not self._record_stats:
+            return
+        self.state.spike_count += float(spikes.data.sum())
+        self.state.element_count = int(np.prod(spikes.shape))
+        self.state.step_count += 1
+
+    # ------------------------------------------------------------------ #
+    def step(self, synaptic_input: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, synaptic_input: Tensor) -> Tensor:
+        return self.step(synaptic_input)
+
+    def extra_repr(self) -> str:
+        return (
+            f"beta={self.beta}, threshold={self.threshold}, "
+            f"surrogate={self.surrogate!r}, reset={self.reset_mechanism}"
+        )

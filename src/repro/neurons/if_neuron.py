@@ -1,0 +1,25 @@
+"""Integrate-and-fire neuron (non-leaky LIF special case)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.neurons.lif import LIF
+from repro.surrogate.base import SurrogateFunction
+
+
+class IF(LIF):
+    """Integrate-and-fire neuron: an LIF with ``beta = 1`` (no leak).
+
+    Provided for the encoder/neuron ablation experiments; the membrane keeps
+    its full value between timesteps so firing rates are typically higher
+    than the leaky variant at the same threshold.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__(beta=1.0, threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)

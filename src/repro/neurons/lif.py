@@ -1,0 +1,70 @@
+"""Leaky integrate-and-fire neuron (paper Eq. 1–2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import Tensor, zeros
+from repro.neurons.base import SpikingNeuron
+from repro.surrogate.base import SurrogateFunction, spike
+
+
+class LIF(SpikingNeuron):
+    r"""Leaky integrate-and-fire neuron layer.
+
+    The membrane update implements Eq. 1 of the paper with reset by
+    subtraction (the `s_j[t]\theta` term):
+
+    .. math::
+
+        u[t+1] = \beta\, u[t] + I_{syn}[t] - s[t]\,\theta
+
+    and Eq. 2 for spike generation: ``s[t] = 1`` when ``u[t] > theta``.
+    The backward pass through the Heaviside uses the layer's surrogate.
+
+    Parameters
+    ----------
+    beta:
+        Membrane leak / decay factor in ``[0, 1]``.  The paper's default is
+        0.25; its cross-sweep explores 0.25–0.95.
+    threshold:
+        Firing threshold ``theta``.  The paper's default is 1.0; its
+        cross-sweep explores 0.5–2.5.
+    surrogate:
+        Surrogate gradient (default :class:`~repro.surrogate.FastSigmoid`).
+    reset_mechanism:
+        ``"subtract"`` (paper; soft reset), ``"zero"`` (hard reset) or
+        ``"none"`` (no reset, for analysis).
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.25,
+        threshold: float = 1.0,
+        surrogate: Optional[SurrogateFunction] = None,
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__(beta=beta, threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)
+
+    def step(self, synaptic_input: Tensor) -> Tensor:
+        """Advance one timestep; returns the spike tensor for this step."""
+        if self.state.mem is None or self.state.mem.shape != synaptic_input.shape:
+            self.state.mem = zeros(synaptic_input.shape, dtype=synaptic_input.dtype)
+
+        mem = self.state.mem * self.beta + synaptic_input
+        spikes = spike(mem, self.threshold, self.surrogate)
+
+        if self.reset_mechanism == "subtract":
+            mem = mem - spikes.detach() * self.threshold
+        elif self.reset_mechanism == "zero":
+            mem = mem * (1.0 - spikes.detach())
+        # "none": leave the membrane as is.
+
+        self.state.mem = mem
+        self._record(spikes)
+        return spikes
+
+    @property
+    def membrane(self) -> Optional[Tensor]:
+        """Current membrane potential (``None`` before the first step)."""
+        return self.state.mem

@@ -1,0 +1,17 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flatten every dimension after the batch dimension.
+
+    Bridges the convolutional feature maps and the dense classifier head in
+    the paper's ``32C3-MP2-32C3-MP2-256-10`` topology.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten()

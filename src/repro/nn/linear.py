@@ -1,0 +1,55 @@
+"""Fully connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    bias:
+        Whether to learn an additive bias (default ``True``).
+    rng:
+        Optional ``numpy`` generator used for weight initialisation so the
+        experiment harness can make model construction fully deterministic.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        gen = rng if rng is not None else np.random.default_rng()
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), gen))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(init.bias_uniform((out_features,), in_features, gen))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dimension {self.in_features}, got input shape {x.shape}"
+            )
+        return x.linear(self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None}"

@@ -1,0 +1,43 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Spiking layers inside the chain keep their own membrane state; calling
+    :meth:`Module.reset_spiking_state` on the container resets all of them.
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            self.register_module(str(index), layer)
+            self._layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer to the end of the chain."""
+        self.register_module(str(len(self._layers)), layer)
+        self._layers.append(layer)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x

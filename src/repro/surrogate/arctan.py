@@ -1,0 +1,37 @@
+"""Arctangent surrogate gradient (Eq. 3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.base import SurrogateFunction
+
+
+class ArcTan(SurrogateFunction):
+    r"""Arctangent surrogate.
+
+    Smooth approximation (paper Eq. 3):
+
+    .. math:: S \approx \frac{1}{\pi}\arctan\left(\frac{\pi U \alpha}{2}\right)
+
+    whose derivative, used in the backward pass, is
+
+    .. math:: \frac{dS}{dU} = \frac{\alpha/2}{1 + \left(\frac{\pi U \alpha}{2}\right)^2}
+
+    ``scale`` corresponds to the paper's :math:`\alpha`.  Larger values make
+    the derivative sharper around the threshold (closer to the true step) and
+    narrower in support; the paper sweeps :math:`\alpha \in [0.5, 32]`.
+    snnTorch uses ``alpha = 2`` by default.
+    """
+
+    name = "arctan"
+
+    def __init__(self, scale: float = 2.0) -> None:
+        super().__init__(scale)
+
+    def forward_smooth(self, u: np.ndarray) -> np.ndarray:
+        return np.arctan(np.pi * u * self.scale / 2.0) / np.pi
+
+    def derivative(self, u: np.ndarray) -> np.ndarray:
+        inner = np.pi * u * self.scale / 2.0
+        return (self.scale / 2.0) / (1.0 + inner * inner)

@@ -1,0 +1,30 @@
+"""Piecewise-linear (boxcar) surrogate gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.base import SurrogateFunction
+
+
+class PiecewiseLinear(SurrogateFunction):
+    r"""Boxcar surrogate: constant derivative inside a window around threshold.
+
+    .. math:: \frac{dS}{dU} = \frac{\text{scale}}{2}\;
+              \mathbb{1}\!\left[|U| < \frac{1}{\text{scale}}\right]
+
+    A common hardware-friendly surrogate (single comparison + constant),
+    included for the extended comparison.
+    """
+
+    name = "piecewise_linear"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__(scale)
+
+    def forward_smooth(self, u: np.ndarray) -> np.ndarray:
+        return np.clip(0.5 + 0.5 * u * self.scale, 0.0, 1.0)
+
+    def derivative(self, u: np.ndarray) -> np.ndarray:
+        window = (np.abs(u) < 1.0 / self.scale).astype(u.dtype if hasattr(u, "dtype") else np.float64)
+        return 0.5 * self.scale * window

@@ -1,0 +1,30 @@
+"""Sigmoid surrogate gradient (extension beyond the paper's two surrogates)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.base import SurrogateFunction
+
+
+class Sigmoid(SurrogateFunction):
+    r"""Logistic-sigmoid surrogate.
+
+    .. math:: S \approx \sigma(kU) = \frac{1}{1 + e^{-kU}} \qquad
+              \frac{dS}{dU} = k\,\sigma(kU)\,(1 - \sigma(kU))
+
+    Included for the extended surrogate comparison (the paper's future-work
+    direction of studying additional hyperparameters).
+    """
+
+    name = "sigmoid"
+
+    def __init__(self, scale: float = 25.0) -> None:
+        super().__init__(scale)
+
+    def forward_smooth(self, u: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-self.scale * u))
+
+    def derivative(self, u: np.ndarray) -> np.ndarray:
+        s = 1.0 / (1.0 + np.exp(-self.scale * np.clip(u, -60.0 / self.scale, 60.0 / self.scale)))
+        return self.scale * s * (1.0 - s)

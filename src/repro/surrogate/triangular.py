@@ -1,0 +1,31 @@
+"""Triangular (piecewise-linear hat) surrogate gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.base import SurrogateFunction
+
+
+class Triangular(SurrogateFunction):
+    r"""Triangular surrogate (Esser et al. / Bellec et al. style).
+
+    .. math:: \frac{dS}{dU} = \gamma \max\left(0,\; 1 - |U|\,\text{scale}\right)
+
+    with ``gamma`` fixed to ``scale`` so the area under the derivative stays
+    approximately one.  The support shrinks as ``scale`` grows, mirroring the
+    sharpening behaviour of the paper's two surrogates.
+    """
+
+    name = "triangular"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__(scale)
+
+    def forward_smooth(self, u: np.ndarray) -> np.ndarray:
+        # Integral of the hat derivative, clipped to [0, 1].
+        x = np.clip(u * self.scale, -1.0, 1.0)
+        return 0.5 + x - 0.5 * np.sign(x) * x * x
+
+    def derivative(self, u: np.ndarray) -> np.ndarray:
+        return self.scale * np.maximum(0.0, 1.0 - np.abs(u) * self.scale)

@@ -1,0 +1,35 @@
+"""Training infrastructure: losses, optimizers, LR schedulers, trainer, metrics.
+
+Implements the paper's training recipe — surrogate-gradient
+backpropagation-through-time with a cross-entropy loss on output spike
+counts, Adam, and a cosine-annealing learning-rate schedule (SGDR,
+Loshchilov & Hutter 2016) over 25 epochs.
+"""
+
+from repro.training.loss import CrossEntropySpikeCount, MSESpikeCount, cross_entropy_logits
+from repro.training.optim import SGD, Adam, Optimizer
+from repro.training.schedulers import ConstantLR, CosineAnnealingLR, LRScheduler, StepLR
+from repro.training.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.training.callbacks import Callback, EarlyStopping, HistoryRecorder
+from repro.training.trainer import Trainer, TrainingResult
+
+__all__ = [
+    "CrossEntropySpikeCount",
+    "MSESpikeCount",
+    "cross_entropy_logits",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "ConstantLR",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "Callback",
+    "EarlyStopping",
+    "HistoryRecorder",
+    "Trainer",
+    "TrainingResult",
+]

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, SCALE_PRESETS
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smoke_config() -> ExperimentConfig:
+    """Smallest end-to-end experiment configuration (for integration tests)."""
+    return ExperimentConfig(scale=SCALE_PRESETS["smoke"], seed=0)
+
+
+def make_tensor(rng: np.random.Generator, *shape, requires_grad: bool = True, dtype=np.float64):
+    """Create a float64 tensor with standard-normal data (for gradchecks)."""
+    from repro.autograd import Tensor
+
+    return Tensor(rng.standard_normal(shape).astype(dtype), requires_grad=requires_grad)

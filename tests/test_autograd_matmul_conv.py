@@ -1,0 +1,130 @@
+"""Gradient correctness for matmul, linear, convolution and pooling ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd.ops_conv import conv_output_shape
+
+
+def t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestMatMul:
+    def test_2d_forward_matches_numpy(self):
+        a, b = t((3, 4), 1), t((4, 5), 2)
+        assert np.allclose((a @ b).numpy(), a.numpy() @ b.numpy())
+
+    def test_2d_gradcheck(self):
+        a, b = t((3, 4), 3), t((4, 2), 4)
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_batched_gradcheck(self):
+        a, b = t((2, 3, 4), 5), t((2, 4, 2), 6)
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_vector_matrix(self):
+        a, b = t((4,), 7), t((4, 3), 8)
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matrix_vector(self):
+        a, b = t((3, 4), 9), t((4,), 10)
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_inner_product(self):
+        a, b = t((5,), 11), t((5,), 12)
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+
+class TestLinearOp:
+    def test_matches_manual_affine(self):
+        x, w, b = t((4, 6), 20), t((3, 6), 21), t((3,), 22)
+        out = x.linear(w, b)
+        assert np.allclose(out.numpy(), x.numpy() @ w.numpy().T + b.numpy())
+
+    def test_gradcheck_with_bias(self):
+        x, w, b = t((3, 4), 23), t((2, 4), 24), t((2,), 25)
+        assert gradcheck(lambda a, b_, c: a.linear(b_, c), [x, w, b])
+
+    def test_gradcheck_without_bias(self):
+        x, w = t((3, 4), 26), t((2, 4), 27)
+        assert gradcheck(lambda a, b_: a.linear(b_, None), [x, w])
+
+
+class TestConv2d:
+    def test_output_shape_helper(self):
+        assert conv_output_shape(32, 32, 3, 1, 1) == (32, 32)
+        assert conv_output_shape(32, 32, 3, 1, 0) == (30, 30)
+        assert conv_output_shape(8, 8, 2, 2, 0) == (4, 4)
+
+    def test_matches_scipy_correlate(self):
+        from scipy import signal
+
+        rng = np.random.default_rng(40)
+        x = rng.standard_normal((1, 1, 6, 6))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = Tensor(x).conv2d(Tensor(w), None, stride=1, padding=0).numpy()
+        expected = signal.correlate(x[0, 0], w[0, 0], mode="valid")
+        assert np.allclose(out[0, 0], expected, atol=1e-5)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -2.0]))
+        out = x.conv2d(w, b, padding=1).numpy()
+        assert np.allclose(out[0, 0], 1.0)
+        assert np.allclose(out[0, 1], -2.0)
+
+    def test_gradcheck_no_padding(self):
+        x, w, b = t((2, 2, 5, 5), 41, 0.5), t((3, 2, 3, 3), 42, 0.5), t((3,), 43)
+        assert gradcheck(lambda a, k, c: a.conv2d(k, c, 1, 0), [x, w, b])
+
+    def test_gradcheck_with_padding(self):
+        x, w = t((1, 2, 4, 4), 44, 0.5), t((2, 2, 3, 3), 45, 0.5)
+        assert gradcheck(lambda a, k: a.conv2d(k, None, 1, 1), [x, w])
+
+    def test_gradcheck_stride_two(self):
+        x, w = t((1, 1, 6, 6), 46, 0.5), t((2, 1, 3, 3), 47, 0.5)
+        assert gradcheck(lambda a, k: a.conv2d(k, None, 2, 0), [x, w])
+
+    def test_padding_preserves_spatial_size(self):
+        x = t((1, 3, 8, 8), 48)
+        w = t((4, 3, 3, 3), 49)
+        assert x.conv2d(w, None, 1, 1).shape == (1, 4, 8, 8)
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        assert x.max_pool2d(2).numpy()[0, 0, 0, 0] == 4.0
+
+    def test_maxpool_gradient_routes_to_max(self):
+        data = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        x = Tensor(data, requires_grad=True)
+        x.max_pool2d(2).sum().backward()
+        assert np.allclose(x.grad, [[[[0, 0], [0, 1]]]])
+
+    def test_maxpool_gradcheck(self):
+        x = t((2, 3, 4, 4), 50)
+        assert gradcheck(lambda a: a.max_pool2d(2), [x])
+
+    def test_avgpool_forward(self):
+        x = Tensor(np.ones((1, 1, 4, 4)) * 2.0)
+        out = x.avg_pool2d(2)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out.numpy(), 2.0)
+
+    def test_avgpool_gradcheck(self):
+        x = t((1, 2, 4, 4), 51)
+        assert gradcheck(lambda a: a.avg_pool2d(2), [x])
+
+    def test_pool_trims_odd_sizes(self):
+        x = Tensor(np.ones((1, 1, 5, 5)), requires_grad=True)
+        out = x.max_pool2d(2)
+        assert out.shape == (1, 1, 2, 2)
+        out.sum().backward()
+        # The trimmed last row/column receives zero gradient.
+        assert np.allclose(x.grad[:, :, 4, :], 0.0)
+        assert np.allclose(x.grad[:, :, :, 4], 0.0)

@@ -1,0 +1,187 @@
+"""Gradient correctness tests for elementwise, reduction and shape operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, numerical_gradient
+
+
+def t(data, requires_grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestElementwiseGradients:
+    def test_add_broadcast(self):
+        a = t(np.random.default_rng(0).standard_normal((3, 4)))
+        b = t(np.random.default_rng(1).standard_normal((4,)))
+        assert gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_sub_broadcast(self):
+        a = t(np.random.default_rng(2).standard_normal((2, 3)))
+        b = t(np.random.default_rng(3).standard_normal((1, 3)))
+        assert gradcheck(lambda x, y: x - y, [a, b])
+
+    def test_mul(self):
+        a = t(np.random.default_rng(4).standard_normal((2, 5)))
+        b = t(np.random.default_rng(5).standard_normal((2, 5)))
+        assert gradcheck(lambda x, y: x * y, [a, b])
+
+    def test_div(self):
+        a = t(np.random.default_rng(6).standard_normal((3, 3)))
+        b = t(np.random.default_rng(7).standard_normal((3, 3)) + 3.0)
+        assert gradcheck(lambda x, y: x / y, [a, b])
+
+    def test_exp(self):
+        a = t(np.random.default_rng(8).standard_normal((4,)) * 0.5)
+        assert gradcheck(lambda x: x.exp(), [a])
+
+    def test_log(self):
+        a = t(np.abs(np.random.default_rng(9).standard_normal((4,))) + 1.0)
+        assert gradcheck(lambda x: x.log(), [a])
+
+    def test_sqrt(self):
+        a = t(np.abs(np.random.default_rng(10).standard_normal((4,))) + 1.0)
+        assert gradcheck(lambda x: x.sqrt(), [a])
+
+    def test_sigmoid(self):
+        a = t(np.random.default_rng(11).standard_normal((6,)))
+        assert gradcheck(lambda x: x.sigmoid(), [a])
+
+    def test_tanh(self):
+        a = t(np.random.default_rng(12).standard_normal((6,)))
+        assert gradcheck(lambda x: x.tanh(), [a])
+
+    def test_relu_gradient_masks_negative(self):
+        a = t([-1.0, 2.0, -3.0, 4.0])
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_abs(self):
+        a = t([-2.0, 3.0])
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_clip_gradient_zero_outside_window(self):
+        a = t([-2.0, 0.5, 2.0])
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self):
+        a = t([1.0, 5.0, 3.0])
+        b = t([2.0, 4.0, 3.0])
+        a.maximum(b).sum().backward()
+        # Ties route the gradient to the first operand.
+        assert np.allclose(a.grad, [0.0, 1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0, 0.0])
+
+    def test_pow_gradcheck(self):
+        a = t(np.abs(np.random.default_rng(13).standard_normal((5,))) + 0.5)
+        assert gradcheck(lambda x: x ** 3, [a])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = t(np.random.default_rng(20).standard_normal((3, 4)))
+        assert gradcheck(lambda x: x.sum(), [a])
+
+    def test_sum_axis_keepdims(self):
+        a = t(np.random.default_rng(21).standard_normal((3, 4)))
+        assert gradcheck(lambda x: x.sum(axis=1, keepdims=True), [a])
+
+    def test_sum_multiple_axes(self):
+        a = t(np.random.default_rng(22).standard_normal((2, 3, 4)))
+        assert gradcheck(lambda x: x.sum(axis=(0, 2)), [a])
+
+    def test_mean_axis(self):
+        a = t(np.random.default_rng(23).standard_normal((3, 5)))
+        assert gradcheck(lambda x: x.mean(axis=0), [a])
+
+    def test_mean_all_value(self):
+        a = t([[1.0, 2.0], [3.0, 4.0]])
+        assert a.mean().item() == pytest.approx(2.5)
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = t([[1.0, 5.0, 3.0]])
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = t([2.0, 2.0])
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5])
+
+    def test_min_gradient(self):
+        a = t([[3.0, 1.0, 2.0]])
+        a.min(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_logsumexp_matches_naive(self):
+        data = np.random.default_rng(24).standard_normal((4, 6))
+        a = t(data)
+        out = a.logsumexp()
+        expected = np.log(np.exp(data).sum(axis=-1))
+        assert np.allclose(out.numpy(), expected)
+
+    def test_logsumexp_gradcheck(self):
+        a = t(np.random.default_rng(25).standard_normal((3, 5)))
+        assert gradcheck(lambda x: x.logsumexp(), [a])
+
+    def test_logsumexp_stable_for_large_logits(self):
+        a = t(np.array([[1000.0, 1000.0]]))
+        out = a.logsumexp()
+        assert np.isfinite(out.numpy()).all()
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        a = t(np.random.default_rng(30).standard_normal((2, 6)))
+        assert gradcheck(lambda x: x.reshape(3, 4), [a])
+
+    def test_reshape_accepts_tuple(self):
+        a = t(np.zeros((2, 6)))
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_default_reverses(self):
+        a = t(np.random.default_rng(31).standard_normal((2, 3, 4)))
+        assert a.transpose().shape == (4, 3, 2)
+
+    def test_transpose_gradient(self):
+        a = t(np.random.default_rng(32).standard_normal((2, 3, 4)))
+        assert gradcheck(lambda x: x.transpose(1, 0, 2), [a])
+
+    def test_T_property(self):
+        a = t(np.zeros((2, 5)))
+        assert a.T.shape == (5, 2)
+
+    def test_flatten_keeps_batch(self):
+        a = t(np.random.default_rng(33).standard_normal((2, 3, 4)))
+        flat = a.flatten()
+        assert flat.shape == (2, 12)
+        assert gradcheck(lambda x: x.flatten(), [a])
+
+    def test_argmax_is_plain_numpy(self):
+        a = t([[1.0, 3.0, 2.0]])
+        assert a.argmax(axis=1).tolist() == [1]
+
+
+class TestNumericalGradientHelper:
+    def test_numerical_gradient_matches_analytic_for_square(self):
+        a = t([1.0, 2.0, 3.0])
+        numerical = numerical_gradient(lambda x: x * x, [a], 0)
+        assert np.allclose(numerical, [2.0, 4.0, 6.0], atol=1e-4)
+
+    def test_gradcheck_raises_on_wrong_gradient(self):
+        from repro.autograd.function import Context, Function
+
+        class BadOp(Function):
+            @staticmethod
+            def forward(ctx, a):
+                return a * 2.0
+
+            @staticmethod
+            def backward(ctx, grad_output):
+                return (grad_output * 3.0,)  # deliberately wrong
+
+        a = t([1.0, 2.0])
+        with pytest.raises(AssertionError):
+            gradcheck(lambda x: BadOp.apply(x), [a])

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor
+from repro.autograd.function import unbroadcast
+
+small_floats = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats)
+def test_sum_gradient_is_all_ones(data):
+    """d(sum(x))/dx == 1 for every element regardless of shape."""
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    assert x.grad.shape == data.shape
+    assert np.allclose(x.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats)
+def test_mean_gradient_is_uniform_and_sums_to_one(data):
+    x = Tensor(data, requires_grad=True)
+    x.mean().backward()
+    assert np.allclose(x.grad.sum(), 1.0, atol=1e-8)
+    assert np.allclose(x.grad, x.grad.reshape(-1)[0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats, st.floats(min_value=-5, max_value=5, allow_nan=False))
+def test_add_scalar_gradient_identity(data, scalar):
+    x = Tensor(data, requires_grad=True)
+    (x + scalar).sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats)
+def test_mul_by_two_equals_add_self(data):
+    """x * 2 and x + x must produce identical values and gradients."""
+    x1 = Tensor(data.copy(), requires_grad=True)
+    x2 = Tensor(data.copy(), requires_grad=True)
+    (x1 * 2.0).sum().backward()
+    (x2 + x2).sum().backward()
+    assert np.allclose(x1.grad, x2.grad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats)
+def test_relu_output_nonnegative_and_grad_binary(data):
+    x = Tensor(data, requires_grad=True)
+    out = x.relu()
+    assert (out.numpy() >= 0).all()
+    out.sum().backward()
+    assert set(np.unique(x.grad)).issubset({0.0, 1.0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats)
+def test_sigmoid_output_in_unit_interval(data):
+    out = Tensor(data).sigmoid().numpy()
+    assert (out > 0).all() and (out < 1).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_floats)
+def test_reshape_preserves_sum_and_gradient(data):
+    x = Tensor(data, requires_grad=True)
+    flat = x.reshape(int(np.prod(data.shape)))
+    assert np.allclose(flat.numpy().sum(), data.sum())
+    flat.sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 5)),
+        elements=st.floats(min_value=-20, max_value=20, allow_nan=False),
+    )
+)
+def test_logsumexp_bounds(data):
+    """max(x) <= logsumexp(x) <= max(x) + log(n)."""
+    out = Tensor(data).logsumexp().numpy()
+    row_max = data.max(axis=-1)
+    assert np.all(out >= row_max - 1e-9)
+    assert np.all(out <= row_max + np.log(data.shape[-1]) + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+)
+def test_unbroadcast_restores_shape(data):
+    """unbroadcast(broadcast(x)) always returns the original shape."""
+    target_shape = (1,) + data.shape[1:]
+    broadcast = np.broadcast_to(data[:1], data.shape)
+    reduced = unbroadcast(broadcast.copy(), target_shape)
+    assert reduced.shape == target_shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=3, max_value=6),
+)
+def test_conv_then_pool_shapes_consistent(n, c, size):
+    """conv(pad=1) preserves spatial dims; pooling halves them (floor)."""
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((n, c, size, size)))
+    w = Tensor(rng.standard_normal((2, c, 3, 3)))
+    out = x.conv2d(w, None, stride=1, padding=1)
+    assert out.shape == (n, 2, size, size)
+    pooled = out.max_pool2d(2)
+    assert pooled.shape == (n, 2, size // 2, size // 2)

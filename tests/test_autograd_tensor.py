@@ -1,0 +1,210 @@
+"""Unit tests for the Tensor core: construction, graph recording, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled, zeros, ones, randn, rand, arange, tensor
+from repro.autograd.tensor import concatenate, stack, where
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype.kind == "f"
+
+    def test_integer_data_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_explicit_dtype_respected(self):
+        t = Tensor(np.array([1, 2, 3]), dtype=np.int64)
+        assert t.dtype == np.int64
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(a.numpy(), b.numpy())
+
+    def test_helpers(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert float(ones((2,)).sum().item()) == 2.0
+        assert randn(4, 5).shape == (4, 5)
+        assert rand(3).shape == (3,)
+        assert arange(5).shape == (5,)
+        assert tensor([1.0]).shape == (1,)
+
+    def test_item_and_tolist(self):
+        t = Tensor([[2.5]])
+        assert t.item() == 2.5
+        assert Tensor([1.0, 2.0]).tolist() == [1.0, 2.0]
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestBackwardBasics:
+    def test_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + 1.0
+        y.backward()
+        assert x.grad == pytest.approx([3.0])
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [2.0, 20.0])
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.backward()
+        assert x.grad == pytest.approx([5.0])
+
+    def test_gradient_accumulates_over_multiple_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        assert x.grad == pytest.approx([5.0])
+
+    def test_zero_grad_clears(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert y.requires_grad is False
+        assert y._node is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.detach() * 5.0
+        assert y.requires_grad is False
+
+    def test_scalar_leaf_backward_on_self(self):
+        x = Tensor(3.0, requires_grad=True)
+        x.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_diamond_graph(self):
+        # x feeds two paths that merge; gradient should sum the path products.
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        y = (a * b).sum()  # y = 12 x^2, dy/dx = 24 x = 48
+        y.backward()
+        assert x.grad == pytest.approx([48.0])
+
+
+class TestOperatorSemantics:
+    def test_radd_rsub_rmul_rdiv(self):
+        x = Tensor([2.0], requires_grad=True)
+        assert (1.0 + x).numpy() == pytest.approx([3.0])
+        assert (5.0 - x).numpy() == pytest.approx([3.0])
+        assert (3.0 * x).numpy() == pytest.approx([6.0])
+        assert (8.0 / x).numpy() == pytest.approx([4.0])
+
+    def test_comparison_returns_binary_tensor(self):
+        x = Tensor([0.5, 1.5, 2.5])
+        gt = x > 1.0
+        assert not gt.requires_grad
+        assert gt.tolist() == [0.0, 1.0, 1.0]
+        assert (x >= 1.5).tolist() == [0.0, 1.0, 1.0]
+        assert (x < 1.5).tolist() == [1.0, 0.0, 0.0]
+        assert (x <= 0.5).tolist() == [1.0, 0.0, 0.0]
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2), requires_grad=True)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        c = a @ b
+        assert np.allclose(c.numpy(), b.numpy())
+
+    def test_pow(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x ** 2).sum()
+        y.backward()
+        assert x.grad == pytest.approx([6.0])
+
+    def test_neg(self):
+        x = Tensor([1.0, -2.0], requires_grad=True)
+        (-x).sum().backward()
+        assert np.allclose(x.grad, [-1.0, -1.0])
+
+    def test_getitem_scatter_gradient(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        y = x[0].sum()
+        y.backward()
+        assert np.allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_getitem_with_fancy_index(self):
+        x = Tensor(np.arange(9, dtype=np.float64).reshape(3, 3), requires_grad=True)
+        idx = np.array([0, 2])
+        picked = x[idx, idx]
+        picked.sum().backward()
+        expected = np.zeros((3, 3))
+        expected[0, 0] = 1
+        expected[2, 2] = 1
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([1, 1])
+        x[idx].sum().backward()
+        assert np.allclose(x.grad, [0.0, 2.0, 0.0])
+
+
+class TestFreeFunctions:
+    def test_stack_over_time_axis(self):
+        frames = [Tensor(np.full((2,), float(i)), requires_grad=True) for i in range(3)]
+        seq = stack(frames, axis=0)
+        assert seq.shape == (3, 2)
+        seq.sum().backward()
+        for frame in frames:
+            assert np.allclose(frame.grad, [1.0, 1.0])
+
+    def test_concatenate_gradient_splits(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5,)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, [2.0, 2.0])
+        assert np.allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_where_routes_gradients_by_condition(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = where(cond, a, b)
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_broadcast_to(self):
+        x = Tensor(np.ones((1, 3)), requires_grad=True)
+        y = x.broadcast_to((4, 3))
+        y.sum().backward()
+        assert np.allclose(x.grad, [[4.0, 4.0, 4.0]])

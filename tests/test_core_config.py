@@ -1,0 +1,89 @@
+"""Unit tests for experiment configuration and scale presets."""
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    PAPER_COMPARISON_POINT,
+    PAPER_DEFAULT,
+    PAPER_LATENCY_OPTIMAL,
+    ReproScale,
+    SCALE_PRESETS,
+    resolve_scale,
+)
+
+
+class TestReproScale:
+    def test_presets_exist(self):
+        assert set(SCALE_PRESETS) == {"smoke", "bench", "full", "paper"}
+
+    def test_paper_preset_matches_publication(self):
+        paper = SCALE_PRESETS["paper"]
+        assert paper.image_size == 32
+        assert paper.conv_channels == (32, 32)
+        assert paper.hidden_units == 256
+        assert paper.epochs == 25
+
+    def test_scales_increase_in_size(self):
+        smoke, bench, full = SCALE_PRESETS["smoke"], SCALE_PRESETS["bench"], SCALE_PRESETS["full"]
+        assert smoke.train_samples < bench.train_samples < full.train_samples
+        assert smoke.image_size <= bench.image_size <= full.image_size
+
+    def test_image_size_must_be_divisible_by_four(self):
+        with pytest.raises(ValueError):
+            ReproScale("bad", 10, (4, 4), 8, 4, 8, 8, 1, 4)
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReproScale("bad", 8, (4, 4), 8, 0, 8, 8, 1, 4)
+
+    def test_resolve_scale_by_name(self):
+        assert resolve_scale("smoke").name == "smoke"
+        assert resolve_scale("PAPER").name == "paper"
+
+    def test_resolve_scale_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale().name == "bench"
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale().name == "smoke"
+
+    def test_resolve_scale_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_scale("enormous")
+
+
+class TestExperimentConfig:
+    def test_defaults_follow_paper_section_3(self):
+        config = ExperimentConfig()
+        assert config.surrogate == "fast_sigmoid"
+        assert config.beta == 0.25
+        assert config.threshold == 1.0
+
+    def test_with_overrides_returns_new_config(self):
+        base = ExperimentConfig()
+        changed = base.with_overrides(beta=0.7, threshold=1.5)
+        assert changed.beta == 0.7 and changed.threshold == 1.5
+        assert base.beta == 0.25  # original untouched
+
+    def test_describe_uses_label_when_present(self):
+        assert ExperimentConfig(label="my run").describe() == "my run"
+        assert "beta=0.5" in ExperimentConfig(beta=0.5).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(surrogate_scale=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(beta=1.5)
+        with pytest.raises(ValueError):
+            ExperimentConfig(threshold=-1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(loss="hinge")
+
+    def test_paper_reference_points(self):
+        assert PAPER_DEFAULT.beta == 0.25 and PAPER_DEFAULT.threshold == 1.0
+        assert PAPER_LATENCY_OPTIMAL.beta == 0.5 and PAPER_LATENCY_OPTIMAL.threshold == 1.5
+        assert PAPER_COMPARISON_POINT.beta == 0.7 and PAPER_COMPARISON_POINT.threshold == 1.5
+        assert PAPER_COMPARISON_POINT.surrogate == "fast_sigmoid"
+        assert PAPER_COMPARISON_POINT.surrogate_scale == 0.25

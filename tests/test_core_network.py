@@ -1,0 +1,122 @@
+"""Unit tests for the paper's network definitions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.network import SpikingCNN, SpikingMLP, build_paper_network
+from repro.neurons import LIF
+from repro.surrogate import ArcTan, FastSigmoid
+
+
+class TestSpikingCNN:
+    def _small(self, **kwargs):
+        defaults = dict(image_size=8, conv_channels=(4, 4), hidden_units=16,
+                        num_classes=10, seed=0)
+        defaults.update(kwargs)
+        return SpikingCNN(**defaults)
+
+    def test_forward_returns_spike_counts(self):
+        model = self._small()
+        spikes = np.random.default_rng(0).integers(0, 2, size=(4, 2, 3, 8, 8)).astype(np.float32)
+        counts = model(Tensor(spikes))
+        assert counts.shape == (2, 10)
+        assert (counts.numpy() >= 0).all()
+        assert (counts.numpy() <= 4).all()  # at most one spike per step
+
+    def test_rejects_wrong_input_rank(self):
+        model = self._small()
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((2, 3, 8, 8))))
+
+    def test_requires_image_size_divisible_by_four(self):
+        with pytest.raises(ValueError):
+            SpikingCNN(image_size=10)
+
+    def test_hyperparameters_propagate_to_all_lif_layers(self):
+        model = self._small(beta=0.7, threshold=1.5, surrogate_name="arctan", surrogate_scale=4.0)
+        for name in model.spiking_layer_names():
+            layer = getattr(model, name)
+            assert isinstance(layer, LIF)
+            assert layer.beta == 0.7
+            assert layer.threshold == 1.5
+            assert isinstance(layer.surrogate, ArcTan)
+            assert layer.surrogate.scale == 4.0
+
+    def test_explicit_surrogate_instance(self):
+        surrogate = FastSigmoid(0.25)
+        model = self._small(surrogate=surrogate)
+        assert model.lif1.surrogate is surrogate
+
+    def test_layer_specs_geometry(self):
+        model = self._small(image_size=16, conv_channels=(8, 12), hidden_units=32)
+        specs = {s["name"]: s for s in model.layer_specs()}
+        assert specs["conv1"]["out_h"] == 16
+        assert specs["conv2"]["in_channels"] == 8
+        assert specs["conv2"]["out_channels"] == 12
+        assert specs["conv2"]["out_h"] == 8
+        assert specs["fc1"]["in_features"] == 12 * 4 * 4
+        assert specs["fc2"]["out_features"] == 10
+        assert [s["firing_layer"] for s in model.layer_specs()] == ["lif1", "lif2", "lif3", "lif_out"]
+
+    def test_paper_topology_parameter_count(self):
+        """The full-size network matches the 32C3-MP2-32C3-MP2-256-10 topology."""
+        model = build_paper_network()
+        specs = {s["name"]: s for s in model.layer_specs()}
+        assert specs["fc1"]["in_features"] == 32 * 8 * 8
+        # conv1: 32*3*9 + 32, conv2: 32*32*9 + 32, fc1: 2048*256 + 256, fc2: 256*10 + 10
+        expected = (32 * 3 * 9 + 32) + (32 * 32 * 9 + 32) + (2048 * 256 + 256) + (256 * 10 + 10)
+        assert model.num_parameters() == expected
+
+    def test_weight_init_is_seed_deterministic(self):
+        a = self._small(seed=7)
+        b = self._small(seed=7)
+        c = self._small(seed=8)
+        assert np.array_equal(a.conv1.weight.data, b.conv1.weight.data)
+        assert not np.array_equal(a.conv1.weight.data, c.conv1.weight.data)
+
+    def test_reset_spiking_state_clears_counts(self):
+        model = self._small()
+        spikes = np.ones((2, 1, 3, 8, 8), dtype=np.float32)
+        model(Tensor(spikes))
+        assert model.lif1.total_spikes() > 0
+        model.reset_spiking_state()
+        assert model.lif1.total_spikes() == 0
+
+    def test_gradients_reach_first_conv_layer(self):
+        model = self._small(surrogate_scale=0.5)
+        spikes = np.random.default_rng(1).random((3, 2, 3, 8, 8)).astype(np.float32)
+        counts = model(Tensor(spikes))
+        counts.sum().backward()
+        assert model.conv1.weight.grad is not None
+        assert np.abs(model.conv1.weight.grad).max() > 0
+
+    def test_extra_repr_describes_topology(self):
+        text = repr(self._small(conv_channels=(4, 4), hidden_units=16))
+        assert "4C3-MP2-4C3-MP2-16-10" in text
+
+
+class TestSpikingMLP:
+    def test_forward_flattens_higher_rank_frames(self):
+        model = SpikingMLP(in_features=12, hidden_units=8, num_classes=3, seed=0)
+        spikes = np.zeros((4, 2, 3, 2, 2), dtype=np.float32)
+        counts = model(Tensor(spikes))
+        assert counts.shape == (2, 3)
+
+    def test_forward_rejects_low_rank(self):
+        model = SpikingMLP(in_features=4)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((4, 4))))
+
+    def test_layer_specs(self):
+        model = SpikingMLP(in_features=20, hidden_units=16, num_classes=5)
+        specs = model.layer_specs()
+        assert specs[0]["in_features"] == 20
+        assert specs[1]["out_features"] == 5
+        assert model.spiking_layer_names() == ["lif1", "lif_out"]
+
+    def test_counts_bounded_by_timesteps(self):
+        model = SpikingMLP(in_features=6, hidden_units=8, num_classes=2, threshold=0.1, seed=1)
+        spikes = np.ones((7, 3, 6), dtype=np.float32)
+        counts = model(Tensor(spikes)).numpy()
+        assert counts.max() <= 7

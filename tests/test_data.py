@@ -1,0 +1,211 @@
+"""Unit tests for the dataset substrate (synthetic SVHN, loaders, transforms)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalShift,
+    Subset,
+    SynthSVHN,
+    SynthSVHNConfig,
+    ToFloat,
+    generate_digit_image,
+    train_test_split,
+)
+
+
+class TestSynthSVHN:
+    def test_image_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        img = generate_digit_image(7, rng)
+        assert img.shape == (3, 32, 32)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_digits_generate(self):
+        rng = np.random.default_rng(1)
+        for digit in range(10):
+            img = generate_digit_image(digit, rng)
+            assert np.isfinite(img).all()
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            generate_digit_image(10, np.random.default_rng(0))
+
+    def test_dataset_is_deterministic_given_seed(self):
+        a = SynthSVHN(num_samples=20, seed=5)
+        b = SynthSVHN(num_samples=20, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = SynthSVHN(num_samples=20, seed=5)
+        b = SynthSVHN(num_samples=20, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_classes_are_balanced(self):
+        dataset = SynthSVHN(num_samples=100, seed=0)
+        counts = dataset.class_counts()
+        assert counts.sum() == 100
+        assert counts.min() >= 9  # 100 samples over 10 classes, near-balanced
+
+    def test_custom_image_size(self):
+        dataset = SynthSVHN(num_samples=4, seed=0, config=SynthSVHNConfig(image_size=16))
+        image, label = dataset[0]
+        assert image.shape == (3, 16, 16)
+        assert 0 <= label < 10
+
+    def test_easy_preset_has_no_distractors(self):
+        cfg = SynthSVHNConfig.easy(image_size=16)
+        assert cfg.distractor_probability == 0.0
+        assert cfg.polarity == "dark"
+        cfg.validate()
+
+    def test_easy_images_have_dark_background(self):
+        cfg = SynthSVHNConfig.easy(image_size=16)
+        rng = np.random.default_rng(3)
+        img = generate_digit_image(3, rng, cfg)
+        # Corners should be background (dark).
+        corners = img[:, [0, 0, -1, -1], [0, -1, 0, -1]]
+        assert corners.mean() < 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SynthSVHNConfig(image_size=4).validate()
+        with pytest.raises(ValueError):
+            SynthSVHNConfig(noise_std=-1).validate()
+        with pytest.raises(ValueError):
+            SynthSVHNConfig(min_digit_scale=0.9, max_digit_scale=0.5).validate()
+        with pytest.raises(ValueError):
+            SynthSVHNConfig(polarity="sideways").validate()
+
+    def test_invalid_num_samples(self):
+        with pytest.raises(ValueError):
+            SynthSVHN(num_samples=0)
+
+
+class TestDatasets:
+    def test_array_dataset_getitem(self):
+        images = np.zeros((5, 3, 8, 8), dtype=np.float32)
+        labels = np.arange(5)
+        ds = ArrayDataset(images, labels)
+        img, lab = ds[3]
+        assert img.shape == (3, 8, 8)
+        assert lab == 3
+        assert len(ds) == 5
+        assert ds.num_classes == 5
+
+    def test_array_dataset_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_transform_applied(self):
+        ds = ArrayDataset(np.ones((2, 3)), np.zeros(2), transform=lambda x: x * 2)
+        img, _ = ds[0]
+        assert np.allclose(img, 2.0)
+
+    def test_subset_indexing(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1).astype(np.float32), np.arange(10))
+        sub = Subset(ds, [2, 5, 7])
+        assert len(sub) == 3
+        assert sub[1][1] == 5
+
+    def test_subset_rejects_out_of_range(self):
+        ds = ArrayDataset(np.zeros((3, 1)), np.zeros(3))
+        with pytest.raises(IndexError):
+            Subset(ds, [5])
+
+    def test_train_test_split_partitions(self):
+        ds = ArrayDataset(np.zeros((100, 1)), np.zeros(100))
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert len(train) == 75 and len(test) == 25
+        assert set(train.indices).isdisjoint(test.indices)
+
+    def test_train_test_split_is_deterministic(self):
+        ds = ArrayDataset(np.zeros((50, 1)), np.zeros(50))
+        a = train_test_split(ds, seed=3)[1].indices
+        b = train_test_split(ds, seed=3)[1].indices
+        assert a == b
+
+    def test_train_test_split_invalid_fraction(self):
+        ds = ArrayDataset(np.zeros((10, 1)), np.zeros(10))
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=0.0)
+
+
+class TestDataLoader:
+    def _dataset(self, n=10):
+        return ArrayDataset(np.arange(n, dtype=np.float32).reshape(n, 1), np.arange(n) % 3)
+
+    def test_batching(self):
+        loader = DataLoader(self._dataset(10), batch_size=4)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 1)
+        assert batches[-1][0].shape == (2, 1)
+
+    def test_len(self):
+        assert len(DataLoader(self._dataset(10), batch_size=4)) == 3
+        assert len(DataLoader(self._dataset(10), batch_size=4, drop_last=True)) == 2
+
+    def test_drop_last(self):
+        loader = DataLoader(self._dataset(10), batch_size=4, drop_last=True)
+        assert all(images.shape[0] == 4 for images, _ in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        loader = DataLoader(self._dataset(20), batch_size=20, shuffle=True, seed=0)
+        images, _ = next(iter(loader))
+        assert sorted(images.reshape(-1).tolist()) == list(range(20))
+
+    def test_labels_are_int64(self):
+        _, labels = next(iter(DataLoader(self._dataset(), batch_size=5)))
+        assert labels.dtype == np.int64
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+
+class TestTransforms:
+    def test_to_float_scales_integers(self):
+        out = ToFloat()(np.array([[0, 255]], dtype=np.uint8))
+        assert out.dtype == np.float32
+        assert out.max() == pytest.approx(1.0)
+
+    def test_to_float_leaves_floats(self):
+        out = ToFloat()(np.array([[0.5]], dtype=np.float32))
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_normalize_output_in_unit_interval(self):
+        x = np.random.default_rng(0).random((3, 8, 8)).astype(np.float32)
+        out = Normalize([0.5, 0.5, 0.5], [0.2, 0.2, 0.2])(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.5], [0.0])
+
+    def test_random_crop_shape(self):
+        x = np.zeros((3, 16, 16), dtype=np.float32)
+        out = RandomCrop(16, padding=2, seed=0)(x)
+        assert out.shape == (3, 16, 16)
+
+    def test_random_shift_preserves_shape_and_content_sum(self):
+        x = np.random.default_rng(1).random((3, 8, 8)).astype(np.float32)
+        out = RandomHorizontalShift(2, seed=0)(x)
+        assert out.shape == x.shape
+        assert out.sum() == pytest.approx(x.sum())
+
+    def test_compose_applies_all(self):
+        pipeline = Compose([ToFloat(), lambda x: x + 1.0])
+        out = pipeline(np.zeros((1, 2, 2), dtype=np.uint8))
+        assert np.allclose(out, 1.0)
+
+    def test_repr_strings(self):
+        assert "Compose" in repr(Compose([ToFloat()]))
+        assert "RandomCrop" in repr(RandomCrop(8))

@@ -1,0 +1,257 @@
+"""Unit tests for the latency, resource, power and accelerator models."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    AcceleratorConfig,
+    DenseBaselineAccelerator,
+    HardwareReport,
+    KINTEX_ULTRASCALE_PLUS,
+    LatencyModel,
+    NetworkWorkload,
+    PowerModel,
+    PriorWorkAccelerator,
+    SparsityAwareAccelerator,
+    estimate_resources,
+    evaluate_on_hardware,
+    format_comparison,
+    format_report,
+    workload_from_layer_specs,
+)
+from repro.hardware.latency import LatencyBreakdown
+from repro.hardware.workload import LayerWorkload
+
+
+def make_workload(input_events=200.0, hidden_events=100.0, num_steps=10):
+    """Small two-layer workload with controllable firing activity."""
+    specs = [
+        {"name": "conv1", "kind": "conv", "in_channels": 3, "out_channels": 8,
+         "kernel_size": 3, "out_h": 16, "out_w": 16},
+        {"name": "fc1", "kind": "fc", "in_features": 512, "out_features": 10},
+    ]
+    return workload_from_layer_specs(
+        specs,
+        {"conv1": hidden_events, "fc1": 5.0},
+        num_steps=num_steps,
+        input_events_per_step=input_events,
+    )
+
+
+class TestLatencyModel:
+    def test_layer_cycles_scale_with_events_when_sparsity_aware(self):
+        model = LatencyModel(sparsity_aware=True)
+        quiet = make_workload(input_events=10.0).layer("conv1")
+        busy = make_workload(input_events=1000.0).layer("conv1")
+        assert model.layer_cycles(busy, 64) > model.layer_cycles(quiet, 64)
+
+    def test_dense_cycles_independent_of_events(self):
+        model = LatencyModel(sparsity_aware=False)
+        quiet = make_workload(input_events=10.0).layer("conv1")
+        busy = make_workload(input_events=1000.0).layer("conv1")
+        assert model.layer_cycles(busy, 64) == pytest.approx(model.layer_cycles(quiet, 64))
+
+    def test_more_pes_reduce_cycles(self):
+        model = LatencyModel()
+        layer = make_workload().layer("conv1")
+        assert model.layer_cycles(layer, 128) < model.layer_cycles(layer, 32)
+
+    def test_lockstep_interval_is_slowest_layer_plus_overhead(self):
+        model = LatencyModel(lockstep_sync_overhead_cycles=10.0)
+        workload = make_workload()
+        allocation = {"conv1": 64, "fc1": 64}
+        breakdown = model.evaluate(workload, allocation)
+        slowest = max(breakdown.layer_cycles_per_step.values())
+        assert breakdown.lockstep_interval_cycles == pytest.approx(slowest + 10.0)
+        assert breakdown.bottleneck_layer() in ("conv1", "fc1")
+
+    def test_latency_formula(self):
+        model = LatencyModel(clock_hz=100e6)
+        workload = make_workload(num_steps=8)
+        breakdown = model.evaluate(workload, {"conv1": 64, "fc1": 64})
+        expected_cycles = (8 + 2 - 1) * breakdown.lockstep_interval_cycles
+        assert breakdown.latency_cycles == pytest.approx(expected_cycles)
+        assert breakdown.latency_seconds == pytest.approx(expected_cycles / 100e6)
+        assert breakdown.latency_ms == pytest.approx(breakdown.latency_seconds * 1e3)
+
+    def test_throughput_admits_one_inference_per_t_intervals(self):
+        model = LatencyModel(clock_hz=200e6)
+        workload = make_workload(num_steps=10)
+        breakdown = model.evaluate(workload, {"conv1": 64, "fc1": 64})
+        assert breakdown.throughput_fps == pytest.approx(
+            200e6 / (10 * breakdown.lockstep_interval_cycles)
+        )
+
+    def test_zero_pe_allocation_rejected(self):
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.layer_cycles(make_workload().layer("conv1"), 0)
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            LatencyModel(neuron_update_parallelism=0)
+
+
+class TestResourceModel:
+    def test_more_pes_use_more_logic(self):
+        workload = make_workload()
+        small = estimate_resources(workload, {"conv1": 64, "fc1": 64})
+        large = estimate_resources(workload, {"conv1": 512, "fc1": 512})
+        assert large.luts > small.luts
+        assert large.flip_flops > small.flip_flops
+
+    def test_bram_scales_with_weights(self):
+        small = estimate_resources(make_workload(), {"conv1": 64, "fc1": 64})
+        big_specs = [
+            {"name": "fc_big", "kind": "fc", "in_features": 4096, "out_features": 1024},
+        ]
+        big_workload = workload_from_layer_specs(big_specs, {"fc_big": 10.0}, 10, 10.0)
+        big = estimate_resources(big_workload, {"fc_big": 64})
+        assert big.bram_kbits > small.bram_kbits
+
+    def test_utilisation_and_fits(self):
+        usage = estimate_resources(make_workload(), {"conv1": 64, "fc1": 64})
+        util = usage.utilisation()
+        assert set(util) == {"luts", "flip_flops", "dsp_slices", "bram_kbits"}
+        assert usage.fits()
+        assert 0.0 < usage.max_utilisation() <= 1.0
+
+    def test_device_capacities_positive(self):
+        assert KINTEX_ULTRASCALE_PLUS.luts > 0
+        assert KINTEX_ULTRASCALE_PLUS.bram_kbits > 0
+
+
+class TestPowerModel:
+    def _inputs(self, workload):
+        accel = SparsityAwareAccelerator()
+        allocation = accel.map(workload)
+        latency = accel.latency_model.evaluate(workload, allocation)
+        resources = estimate_resources(workload, allocation)
+        return latency, resources
+
+    def test_total_is_sum_of_components(self):
+        workload = make_workload()
+        latency, resources = self._inputs(workload)
+        power = PowerModel().evaluate(workload, latency, resources, clock_hz=200e6)
+        assert power.total_w == pytest.approx(power.static_w + power.dynamic_w)
+        assert power.dynamic_w == pytest.approx(
+            power.synaptic_w + power.neuron_update_w + power.memory_w + power.clock_w
+        )
+
+    def test_higher_activity_costs_more_dynamic_power(self):
+        quiet = make_workload(input_events=10.0, hidden_events=10.0)
+        busy = make_workload(input_events=1000.0, hidden_events=1000.0)
+        latency_q, res_q = self._inputs(quiet)
+        latency_b, res_b = self._inputs(busy)
+        model = PowerModel()
+        p_quiet = model.evaluate(quiet, latency_q, res_q, 200e6)
+        p_busy = model.evaluate(busy, latency_b, res_b, 200e6)
+        # Per-inference energy must grow with activity.
+        e_quiet = p_quiet.dynamic_w / latency_q.throughput_fps
+        e_busy = p_busy.dynamic_w / latency_b.throughput_fps
+        assert e_busy > e_quiet
+
+    def test_dense_mode_uses_mac_energy(self):
+        workload = make_workload(input_events=1.0, hidden_events=1.0)
+        latency, resources = self._inputs(workload)
+        model = PowerModel()
+        sparse = model.evaluate(workload, latency, resources, 200e6, sparsity_aware=True)
+        dense = model.evaluate(workload, latency, resources, 200e6, sparsity_aware=False)
+        assert dense.synaptic_w > sparse.synaptic_w
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(energy_per_synop_j=-1.0)
+
+    def test_as_dict_keys(self):
+        workload = make_workload()
+        latency, resources = self._inputs(workload)
+        d = PowerModel().evaluate(workload, latency, resources, 200e6).as_dict()
+        assert "total_w" in d and "dynamic_w" in d and "static_w" in d
+
+
+class TestAccelerators:
+    def test_run_bundles_all_outputs(self):
+        accel = SparsityAwareAccelerator()
+        run = accel.run(make_workload())
+        assert run.fps > 0
+        assert run.fps_per_watt > 0
+        assert run.latency_ms > 0
+        assert run.energy_per_inference_j > 0
+        assert set(run.pe_allocation) == {"conv1", "fc1"}
+
+    def test_sparsity_aware_beats_dense_on_sparse_workload(self):
+        """The core premise of the paper's platform: exploiting sparsity wins."""
+        workload = make_workload(input_events=50.0, hidden_events=50.0)
+        aware = SparsityAwareAccelerator().run(workload)
+        dense = DenseBaselineAccelerator().run(workload)
+        assert aware.fps > dense.fps
+        assert aware.fps_per_watt > dense.fps_per_watt
+
+    def test_lower_firing_gives_lower_latency_and_better_efficiency(self):
+        """The mechanism behind the paper's Figure 2 finding."""
+        accel = SparsityAwareAccelerator()
+        quiet = accel.run(make_workload(input_events=50.0, hidden_events=50.0))
+        busy = accel.run(make_workload(input_events=500.0, hidden_events=500.0))
+        assert quiet.latency_ms < busy.latency_ms
+        assert quiet.fps_per_watt > busy.fps_per_watt
+
+    def test_dense_baseline_insensitive_to_firing(self):
+        dense = DenseBaselineAccelerator()
+        quiet = dense.run(make_workload(input_events=50.0, hidden_events=50.0))
+        busy = dense.run(make_workload(input_events=500.0, hidden_events=500.0))
+        assert quiet.latency_ms == pytest.approx(busy.latency_ms, rel=1e-6)
+
+    def test_prior_work_less_efficient_than_paper_platform(self):
+        workload = make_workload()
+        ours = SparsityAwareAccelerator().run(workload)
+        prior = PriorWorkAccelerator().run(workload)
+        assert ours.fps_per_watt > prior.fps_per_watt
+        assert PriorWorkAccelerator().reference_accuracy == pytest.approx(0.82)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(clock_hz=0)
+
+    def test_repr_mentions_mode(self):
+        assert "sparsity-aware" in repr(SparsityAwareAccelerator())
+        assert "dense" in repr(DenseBaselineAccelerator())
+
+
+class TestHardwareReport:
+    def test_evaluate_on_hardware(self):
+        report = evaluate_on_hardware(make_workload(), SparsityAwareAccelerator(), accuracy=0.85)
+        assert isinstance(report, HardwareReport)
+        assert report.accuracy == 0.85
+        assert report.fps_per_watt == pytest.approx(report.fps / report.power_w)
+        assert 0.0 <= report.sparsity <= 1.0
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_on_hardware(make_workload(), SparsityAwareAccelerator(), accuracy=1.5)
+
+    def test_as_dict_round_trip(self):
+        report = evaluate_on_hardware(make_workload(), SparsityAwareAccelerator(), accuracy=0.5)
+        d = report.as_dict()
+        assert d["accuracy"] == 0.5
+        assert "fps_per_watt" in d and "latency_ms" in d
+
+    def test_format_report_text(self):
+        report = evaluate_on_hardware(make_workload(), SparsityAwareAccelerator(), accuracy=0.5)
+        text = format_report(report, title="unit test")
+        assert "unit test" in text
+        assert "FPS/W" in text
+
+    def test_format_comparison_ratios(self):
+        base = evaluate_on_hardware(make_workload(), PriorWorkAccelerator(), accuracy=0.5)
+        ours = evaluate_on_hardware(make_workload(), SparsityAwareAccelerator(), accuracy=0.6)
+        text = format_comparison({"prior": base, "ours": ours}, baseline_key="prior")
+        assert "prior" in text and "ours" in text
+        assert "1.00x" in text
+
+    def test_format_comparison_missing_baseline(self):
+        report = evaluate_on_hardware(make_workload(), SparsityAwareAccelerator(), accuracy=0.5)
+        with pytest.raises(KeyError):
+            format_comparison({"a": report}, baseline_key="missing")

@@ -1,0 +1,101 @@
+"""Property-based tests for hardware-model invariants.
+
+These encode the monotonicities the paper's argument rests on: less firing
+never hurts latency or efficiency on the sparsity-aware platform, and the
+platform never reports non-physical numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import (
+    DenseBaselineAccelerator,
+    MappingConfig,
+    SparsityAwareAccelerator,
+    allocate_processing_elements,
+    workload_from_layer_specs,
+)
+
+events = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+steps = st.integers(min_value=1, max_value=50)
+
+
+def build_workload(input_events, conv_events, fc_events, num_steps):
+    specs = [
+        {"name": "conv1", "kind": "conv", "in_channels": 3, "out_channels": 8,
+         "kernel_size": 3, "out_h": 16, "out_w": 16},
+        {"name": "fc1", "kind": "fc", "in_features": 512, "out_features": 10},
+    ]
+    return workload_from_layer_specs(
+        specs, {"conv1": conv_events, "fc1": fc_events}, num_steps=num_steps,
+        input_events_per_step=input_events,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(events, events, events, steps)
+def test_hardware_metrics_always_physical(input_events, conv_events, fc_events, num_steps):
+    """Latency, power and FPS are positive and finite for any activity level."""
+    run = SparsityAwareAccelerator().run(build_workload(input_events, conv_events, fc_events, num_steps))
+    assert np.isfinite(run.latency_ms) and run.latency_ms > 0
+    assert np.isfinite(run.power.total_w) and run.power.total_w > 0
+    assert np.isfinite(run.fps) and run.fps > 0
+    assert run.fps_per_watt > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(events, events, steps, st.floats(min_value=1.1, max_value=10.0))
+def test_more_activity_never_improves_sparse_latency(base_events, fc_events, num_steps, factor):
+    """Scaling every firing rate up can only increase (or keep) latency."""
+    accel = SparsityAwareAccelerator()
+    quiet = accel.run(build_workload(base_events, base_events, fc_events, num_steps))
+    busy = accel.run(build_workload(base_events * factor, base_events * factor, fc_events * factor, num_steps))
+    assert busy.latency_ms >= quiet.latency_ms - 1e-12
+    assert busy.fps_per_watt <= quiet.fps_per_watt + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(events, events, events, steps)
+def test_dense_baseline_latency_independent_of_activity(input_events, conv_events, fc_events, num_steps):
+    dense = DenseBaselineAccelerator()
+    a = dense.run(build_workload(input_events, conv_events, fc_events, num_steps))
+    b = dense.run(build_workload(0.0, 0.0, 0.0, num_steps))
+    assert a.latency_ms == pytest.approx(b.latency_ms, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events, events, steps)
+def test_sparse_never_slower_than_dense_same_platform(input_events, conv_events, num_steps):
+    """Event-driven execution can skip work but never adds work."""
+    workload = build_workload(input_events, conv_events, 5.0, num_steps)
+    sparse = SparsityAwareAccelerator().run(workload)
+    dense = DenseBaselineAccelerator().run(workload)
+    assert sparse.latency_ms <= dense.latency_ms * (1 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=64, max_value=4096),
+    st.integers(min_value=1, max_value=16),
+    events,
+    events,
+)
+def test_pe_allocation_conserves_budget(total_pes, min_pes, conv_events, fc_events):
+    workload = build_workload(10.0, conv_events, fc_events, 10)
+    if total_pes < min_pes * len(workload.layers):
+        return  # infeasible configurations are rejected elsewhere
+    config = MappingConfig(total_pes=total_pes, min_pes_per_layer=min_pes)
+    allocation = allocate_processing_elements(workload, config)
+    assert sum(allocation.values()) == total_pes
+    assert all(v >= min_pes for v in allocation.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(events, events, steps)
+def test_latency_scales_linearly_with_timesteps_at_fixed_activity(conv_events, fc_events, num_steps):
+    """With per-step activity held constant, latency grows with T (lock-step pipeline)."""
+    accel = SparsityAwareAccelerator()
+    short = accel.run(build_workload(10.0, conv_events, fc_events, num_steps))
+    long = accel.run(build_workload(10.0, conv_events, fc_events, num_steps + 10))
+    assert long.latency_ms > short.latency_ms

@@ -1,0 +1,189 @@
+"""Unit tests for the hardware workload descriptors and mapping."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LayerWorkload,
+    MappingConfig,
+    NetworkWorkload,
+    allocate_processing_elements,
+    workload_from_layer_specs,
+)
+
+
+def conv_layer(name="conv1", input_events=100.0, output_events=200.0):
+    return LayerWorkload(
+        name=name,
+        kind="conv",
+        num_neurons=32 * 16 * 16,
+        fanout_per_event=32 * 9,
+        dense_macs_per_step=32 * 16 * 16 * 3 * 9,
+        weight_count=32 * 3 * 9,
+        avg_input_events_per_step=input_events,
+        avg_output_events_per_step=output_events,
+    )
+
+
+def fc_layer(name="fc1", input_events=50.0, output_events=20.0):
+    return LayerWorkload(
+        name=name,
+        kind="fc",
+        num_neurons=256,
+        fanout_per_event=256,
+        dense_macs_per_step=2048 * 256,
+        weight_count=2048 * 256,
+        avg_input_events_per_step=input_events,
+        avg_output_events_per_step=output_events,
+    )
+
+
+class TestLayerWorkload:
+    def test_sparse_synops(self):
+        layer = conv_layer(input_events=10.0)
+        assert layer.sparse_synops_per_step == pytest.approx(10.0 * 32 * 9)
+
+    def test_input_density_capped_at_one(self):
+        layer = conv_layer(input_events=1e9)
+        assert layer.input_density == 1.0
+
+    def test_output_firing_rate(self):
+        layer = conv_layer(output_events=8192.0)
+        assert layer.output_firing_rate == pytest.approx(8192.0 / (32 * 16 * 16))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            LayerWorkload("x", "pool", 1, 1, 1, 1, 0.0, 0.0)
+
+    def test_negative_events_rejected(self):
+        with pytest.raises(ValueError):
+            conv_layer(input_events=-1.0)
+
+    def test_zero_static_workload_rejected(self):
+        with pytest.raises(ValueError):
+            LayerWorkload("x", "fc", 0, 1, 1, 1, 0.0, 0.0)
+
+
+class TestNetworkWorkload:
+    def _network(self):
+        return NetworkWorkload(layers=[conv_layer(), fc_layer()], num_steps=10, input_events_per_step=300.0)
+
+    def test_aggregates(self):
+        net = self._network()
+        assert net.total_neurons == 32 * 16 * 16 + 256
+        assert net.total_dense_macs_per_step == conv_layer().dense_macs_per_step + fc_layer().dense_macs_per_step
+        assert len(net) == 2
+
+    def test_layer_lookup(self):
+        net = self._network()
+        assert net.layer("fc1").kind == "fc"
+        with pytest.raises(KeyError):
+            net.layer("missing")
+
+    def test_overall_sparsity_between_zero_and_one(self):
+        net = self._network()
+        assert 0.0 <= net.overall_sparsity() <= 1.0
+
+    def test_sparsity_decreases_with_more_events(self):
+        quiet = NetworkWorkload([conv_layer(input_events=10.0)], num_steps=5)
+        busy = NetworkWorkload([conv_layer(input_events=1000.0)], num_steps=5)
+        assert quiet.overall_sparsity() > busy.overall_sparsity()
+
+    def test_average_firing_rate(self):
+        net = NetworkWorkload([conv_layer(output_events=819.2)], num_steps=5)
+        assert net.average_firing_rate == pytest.approx(0.1)
+
+    def test_requires_layers_and_steps(self):
+        with pytest.raises(ValueError):
+            NetworkWorkload(layers=[], num_steps=5)
+        with pytest.raises(ValueError):
+            NetworkWorkload(layers=[conv_layer()], num_steps=0)
+
+
+class TestWorkloadFromSpecs:
+    def _specs(self):
+        return [
+            {"name": "conv1", "kind": "conv", "in_channels": 3, "out_channels": 8,
+             "kernel_size": 3, "out_h": 16, "out_w": 16},
+            {"name": "fc1", "kind": "fc", "in_features": 512, "out_features": 10},
+        ]
+
+    def test_builds_layers_in_order(self):
+        workload = workload_from_layer_specs(
+            self._specs(), {"conv1": 100.0, "fc1": 5.0}, num_steps=6, input_events_per_step=250.0
+        )
+        assert [l.name for l in workload] == ["conv1", "fc1"]
+        # The fc layer's input events are the conv layer's output events.
+        assert workload.layer("fc1").avg_input_events_per_step == 100.0
+        assert workload.layer("conv1").avg_input_events_per_step == 250.0
+
+    def test_conv_geometry(self):
+        workload = workload_from_layer_specs(
+            self._specs(), {"conv1": 1.0, "fc1": 1.0}, num_steps=6, input_events_per_step=1.0
+        )
+        conv = workload.layer("conv1")
+        assert conv.num_neurons == 8 * 16 * 16
+        assert conv.fanout_per_event == 8 * 9
+        assert conv.dense_macs_per_step == 8 * 16 * 16 * 3 * 9
+        assert conv.weight_count == 8 * 3 * 9
+
+    def test_fc_geometry(self):
+        workload = workload_from_layer_specs(
+            self._specs(), {"conv1": 1.0, "fc1": 1.0}, num_steps=6, input_events_per_step=1.0
+        )
+        fc = workload.layer("fc1")
+        assert fc.num_neurons == 10
+        assert fc.dense_macs_per_step == 512 * 10
+
+    def test_missing_firing_entry_raises(self):
+        with pytest.raises(KeyError):
+            workload_from_layer_specs(self._specs(), {"conv1": 1.0}, num_steps=6, input_events_per_step=1.0)
+
+    def test_unknown_kind_raises(self):
+        specs = [{"name": "x", "kind": "rnn"}]
+        with pytest.raises(ValueError):
+            workload_from_layer_specs(specs, {"x": 1.0}, num_steps=4, input_events_per_step=1.0)
+
+
+class TestPEAllocation:
+    def _network(self):
+        return NetworkWorkload(
+            layers=[conv_layer(input_events=1000.0), fc_layer(input_events=10.0)],
+            num_steps=10,
+            input_events_per_step=100.0,
+        )
+
+    def test_total_pes_fully_distributed(self):
+        config = MappingConfig(total_pes=256, min_pes_per_layer=8)
+        allocation = allocate_processing_elements(self._network(), config)
+        assert sum(allocation.values()) == 256
+
+    def test_minimum_respected(self):
+        config = MappingConfig(total_pes=256, min_pes_per_layer=16)
+        allocation = allocate_processing_elements(self._network(), config)
+        assert all(v >= 16 for v in allocation.values())
+
+    def test_busier_layer_gets_more_pes(self):
+        config = MappingConfig(total_pes=512, min_pes_per_layer=8, sparsity_aware=True)
+        allocation = allocate_processing_elements(self._network(), config)
+        assert allocation["conv1"] > allocation["fc1"]
+
+    def test_dense_allocation_follows_macs(self):
+        # The fc layer has more dense MACs than event-driven work; the dense
+        # mapper must favour it while the sparsity-aware mapper favours conv1.
+        net = self._network()
+        sparse = allocate_processing_elements(net, MappingConfig(total_pes=512, sparsity_aware=True))
+        dense = allocate_processing_elements(net, MappingConfig(total_pes=512, sparsity_aware=False))
+        assert sparse["conv1"] > sparse["fc1"]
+        assert dense["fc1"] > dense["conv1"]
+
+    def test_insufficient_budget_raises(self):
+        config = MappingConfig(total_pes=8, min_pes_per_layer=8)
+        with pytest.raises(ValueError):
+            allocate_processing_elements(self._network(), config)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MappingConfig(total_pes=0)
+        with pytest.raises(ValueError):
+            MappingConfig(min_pes_per_layer=0)

@@ -1,0 +1,179 @@
+"""Unit tests for the spiking neuron models (paper Eq. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.neurons import IF, LIF, SynapticLIF
+from repro.surrogate import FastSigmoid
+
+
+class TestLIFDynamics:
+    def test_membrane_integrates_input(self):
+        lif = LIF(beta=0.5, threshold=10.0)  # high threshold: no spikes
+        lif.step(Tensor([[1.0]]))
+        assert lif.membrane.numpy()[0, 0] == pytest.approx(1.0)
+        lif.step(Tensor([[1.0]]))
+        # u = 0.5 * 1.0 + 1.0
+        assert lif.membrane.numpy()[0, 0] == pytest.approx(1.5)
+
+    def test_beta_controls_decay(self):
+        """Higher beta retains more membrane potential (paper Sec. II-A)."""
+        low = LIF(beta=0.1, threshold=100.0)
+        high = LIF(beta=0.9, threshold=100.0)
+        for _ in range(5):
+            low.step(Tensor([[1.0]]))
+            high.step(Tensor([[1.0]]))
+        assert high.membrane.numpy()[0, 0] > low.membrane.numpy()[0, 0]
+
+    def test_spike_emitted_above_threshold(self):
+        lif = LIF(beta=0.5, threshold=1.0)
+        spikes = lif.step(Tensor([[2.0]]))
+        assert spikes.numpy()[0, 0] == 1.0
+
+    def test_no_spike_at_or_below_threshold(self):
+        lif = LIF(beta=0.5, threshold=1.0)
+        assert lif.step(Tensor([[1.0]])).numpy()[0, 0] == 0.0  # strict inequality in Eq. 2
+        lif.reset_state()
+        assert lif.step(Tensor([[0.5]])).numpy()[0, 0] == 0.0
+
+    def test_subtract_reset_follows_equation_1(self):
+        """After a spike the membrane is reduced by exactly theta (Eq. 1)."""
+        lif = LIF(beta=0.5, threshold=1.0, reset_mechanism="subtract")
+        lif.step(Tensor([[2.5]]))
+        assert lif.membrane.numpy()[0, 0] == pytest.approx(1.5)
+
+    def test_zero_reset_clears_membrane(self):
+        lif = LIF(beta=0.5, threshold=1.0, reset_mechanism="zero")
+        lif.step(Tensor([[2.5]]))
+        assert lif.membrane.numpy()[0, 0] == pytest.approx(0.0)
+
+    def test_none_reset_keeps_membrane(self):
+        lif = LIF(beta=0.5, threshold=1.0, reset_mechanism="none")
+        lif.step(Tensor([[2.5]]))
+        assert lif.membrane.numpy()[0, 0] == pytest.approx(2.5)
+
+    def test_lower_threshold_increases_firing(self):
+        """Paper Sec. II-A: lower theta increases firing frequency."""
+        rng = np.random.default_rng(0)
+        drive = rng.random((8, 16)).astype(np.float32)
+        low = LIF(beta=0.5, threshold=0.5)
+        high = LIF(beta=0.5, threshold=2.0)
+        for _ in range(10):
+            low.step(Tensor(drive))
+            high.step(Tensor(drive))
+        assert low.total_spikes() > high.total_spikes()
+
+    def test_higher_beta_increases_firing(self):
+        """Paper Sec. II-A: higher beta makes firing more likely."""
+        rng = np.random.default_rng(1)
+        drive = rng.random((8, 16)).astype(np.float32) * 0.4
+        leaky = LIF(beta=0.1, threshold=1.0)
+        retentive = LIF(beta=0.95, threshold=1.0)
+        for _ in range(20):
+            leaky.step(Tensor(drive))
+            retentive.step(Tensor(drive))
+        assert retentive.total_spikes() > leaky.total_spikes()
+
+    def test_state_reset_clears_everything(self):
+        lif = LIF(beta=0.5, threshold=0.5)
+        lif.step(Tensor([[1.0, 1.0]]))
+        assert lif.total_spikes() > 0
+        lif.reset_state()
+        assert lif.total_spikes() == 0
+        assert lif.membrane is None
+
+    def test_state_reallocates_on_shape_change(self):
+        lif = LIF(beta=0.5, threshold=1.0)
+        lif.step(Tensor(np.zeros((2, 3))))
+        out = lif.step(Tensor(np.zeros((4, 3))))
+        assert out.shape == (4, 3)
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            LIF(beta=1.5)
+        with pytest.raises(ValueError):
+            LIF(threshold=0.0)
+        with pytest.raises(ValueError):
+            LIF(reset_mechanism="bogus")
+
+
+class TestLIFGradients:
+    def test_gradient_flows_through_time(self):
+        """BPTT: the loss at the last step must produce gradients on early inputs."""
+        lif = LIF(beta=0.9, threshold=1.0, surrogate=FastSigmoid(0.5))
+        inputs = [Tensor(np.full((1, 4), 0.4), requires_grad=True) for _ in range(5)]
+        total = None
+        for x in inputs:
+            s = lif.step(x)
+            total = s if total is None else total + s
+        total.sum().backward()
+        assert inputs[0].grad is not None
+        assert np.abs(inputs[0].grad).max() > 0
+
+    def test_firing_rate_normalisation(self):
+        lif = LIF(beta=0.5, threshold=0.1)
+        for _ in range(4):
+            lif.step(Tensor(np.ones((2, 10))))
+        # Every neuron fires every step -> rate 1.0
+        assert lif.firing_rate() == pytest.approx(1.0)
+
+    def test_statistics_recording_can_be_disabled(self):
+        lif = LIF(beta=0.5, threshold=0.1)
+        lif.set_record_statistics(False)
+        lif.step(Tensor(np.ones((2, 4))))
+        assert lif.total_spikes() == 0.0
+
+    def test_detach_state_cuts_graph(self):
+        lif = LIF(beta=0.9, threshold=10.0)
+        x = Tensor(np.ones((1, 2)), requires_grad=True)
+        lif.step(x)
+        lif.detach_state()
+        assert lif.membrane.requires_grad is False
+
+
+class TestIFNeuron:
+    def test_if_is_lif_with_beta_one(self):
+        neuron = IF(threshold=5.0)
+        assert neuron.beta == 1.0
+        for _ in range(4):
+            neuron.step(Tensor([[1.0]]))
+        assert neuron.membrane.numpy()[0, 0] == pytest.approx(4.0)
+
+    def test_if_fires_more_than_leaky(self):
+        rng = np.random.default_rng(2)
+        drive = rng.random((4, 8)).astype(np.float32) * 0.4
+        integrator = IF(threshold=1.0)
+        leaky = LIF(beta=0.3, threshold=1.0)
+        for _ in range(10):
+            integrator.step(Tensor(drive))
+            leaky.step(Tensor(drive))
+        assert integrator.total_spikes() >= leaky.total_spikes()
+
+
+class TestSynapticLIF:
+    def test_synaptic_current_state_exists(self):
+        neuron = SynapticLIF(alpha=0.8, beta=0.5, threshold=10.0)
+        neuron.step(Tensor([[1.0]]))
+        assert neuron.state.syn is not None
+        assert neuron.state.syn.numpy()[0, 0] == pytest.approx(1.0)
+
+    def test_current_decays_with_alpha(self):
+        neuron = SynapticLIF(alpha=0.5, beta=0.0, threshold=100.0)
+        neuron.step(Tensor([[1.0]]))
+        neuron.step(Tensor([[0.0]]))
+        assert neuron.state.syn.numpy()[0, 0] == pytest.approx(0.5)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            SynapticLIF(alpha=1.2)
+
+    def test_spikes_and_reset(self):
+        neuron = SynapticLIF(alpha=0.9, beta=0.5, threshold=1.0)
+        spikes = neuron.step(Tensor([[3.0]]))
+        assert spikes.numpy()[0, 0] == 1.0
+        assert neuron.state.mem.numpy()[0, 0] == pytest.approx(2.0)
+
+    def test_repr_contains_parameters(self):
+        text = repr(SynapticLIF(alpha=0.8, beta=0.4))
+        assert "alpha=0.8" in text and "beta=0.4" in text

@@ -1,0 +1,249 @@
+"""Unit tests for the NN layer library."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn import init as nn_init
+
+
+class TestModuleMechanics:
+    def test_parameter_registration(self):
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.child = Linear(2, 2)
+
+        m = Tiny()
+        names = [n for n, _ in m.named_parameters()]
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+
+    def test_num_parameters_counts_scalars(self):
+        layer = Linear(4, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        src = Linear(4, 2, rng=np.random.default_rng(0))
+        dst = Linear(4, 2, rng=np.random.default_rng(1))
+        assert not np.allclose(src.weight.data, dst.weight.data)
+        dst.load_state_dict(src.state_dict())
+        assert np.allclose(src.weight.data, dst.weight.data)
+
+    def test_load_state_dict_rejects_mismatched_keys(self):
+        layer = Linear(4, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_load_state_dict_rejects_wrong_shape(self):
+        layer = Linear(4, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_named_modules_includes_nested(self):
+        model = Sequential(Linear(2, 2), Sequential(Linear(2, 2)))
+        names = [n for n, _ in model.named_modules()]
+        assert "0" in names and "1.0" in names
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(8, 4)
+        out = layer(Tensor(np.zeros((5, 8))))
+        assert out.shape == (5, 4)
+
+    def test_forward_matches_manual(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).standard_normal((4, 3)).astype(np.float32)
+        out = layer(Tensor(x)).numpy()
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.ones((1, 3)))).shape == (1, 2)
+
+    def test_rejects_wrong_input_width(self):
+        with pytest.raises(ValueError):
+            Linear(3, 2)(Tensor(np.zeros((1, 4))))
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients_flow_to_weights(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(5))
+        out = layer(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad.shape == (2, 3)
+        assert layer.bias.grad.shape == (2,)
+        assert np.allclose(layer.bias.grad, 2.0)  # batch of 2, d(sum)/db = N
+
+
+class TestConvPoolLayers:
+    def test_conv_output_shape_same_padding(self):
+        layer = Conv2d(3, 8, kernel_size=3, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+        assert layer.output_shape(16, 16) == (16, 16)
+
+    def test_conv_rejects_bad_input(self):
+        layer = Conv2d(3, 8, kernel_size=3)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 4, 8, 8))))
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 3, 8))))
+
+    def test_conv_gradcheck_through_layer(self):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=np.random.default_rng(6))
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        x = Tensor(np.random.default_rng(7).standard_normal((1, 2, 4, 4)), requires_grad=True)
+        assert gradcheck(lambda inp: layer(inp), [x])
+
+    def test_maxpool_layer(self):
+        out = MaxPool2d(2)(Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)))
+        assert out.shape == (1, 1, 2, 2)
+        assert out.numpy()[0, 0, 1, 1] == 15.0
+
+    def test_avgpool_layer(self):
+        out = AvgPool2d(2)(Tensor(np.ones((1, 2, 4, 4))))
+        assert np.allclose(out.numpy(), 1.0)
+
+    def test_pool_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(2)(Tensor(np.zeros((4, 4))))
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((3, 2, 4, 4))))
+        assert out.shape == (3, 32)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(layer(x).numpy(), 1.0)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).numpy()
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        # Expectation preserved to within a few percent.
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_p_zero_is_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones((3, 3)))
+        assert np.allclose(layer(x).numpy(), 1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        layer = BatchNorm2d(3)
+        rng = np.random.default_rng(8)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) * 5 + 2)
+        out = layer(x).numpy()
+        assert abs(out.mean()) < 1e-4
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_running_stats_updated(self):
+        layer = BatchNorm2d(2, momentum=1.0)
+        x = Tensor(np.ones((4, 2, 2, 2)) * 3.0)
+        layer(x)
+        assert np.allclose(layer.running_mean, 3.0)
+
+    def test_eval_uses_running_stats(self):
+        layer = BatchNorm2d(2, momentum=1.0)
+        layer(Tensor(np.ones((4, 2, 2, 2)) * 3.0))
+        layer.eval()
+        out = layer(Tensor(np.ones((1, 2, 2, 2)) * 3.0)).numpy()
+        assert np.allclose(out, 0.0, atol=1e-2)
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(np.zeros((1, 2, 4, 4))))
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        model = Sequential(Linear(4, 8), Flatten(), Linear(8, 2))
+        out = model(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_len_getitem_iter(self):
+        model = Sequential(Linear(2, 2), Flatten())
+        assert len(model) == 2
+        assert isinstance(model[0], Linear)
+        assert [type(m).__name__ for m in model] == ["Linear", "Flatten"]
+
+    def test_append(self):
+        model = Sequential(Linear(2, 4))
+        model.append(Linear(4, 2))
+        assert len(model) == 2
+        assert model(Tensor(np.zeros((1, 2)))).shape == (1, 2)
+
+    def test_parameters_collected_from_children(self):
+        model = Sequential(Linear(2, 4), Linear(4, 2))
+        assert len(model.parameters()) == 4
+
+
+class TestInit:
+    def test_kaiming_uniform_bounds(self, rng):
+        w = nn_init.kaiming_uniform((64, 128), rng)
+        assert w.shape == (64, 128)
+        assert np.abs(w).max() <= np.sqrt(5.0 / 128) + 1e-6
+
+    def test_xavier_uniform_bounds(self, rng):
+        w = nn_init.xavier_uniform((32, 32), rng)
+        bound = np.sqrt(6.0 / 64)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_conv_fan_in_out(self, rng):
+        w = nn_init.kaiming_normal((16, 3, 3, 3), rng)
+        assert w.shape == (16, 3, 3, 3)
+
+    def test_unsupported_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn_init.kaiming_uniform((2, 3, 4), rng)
+
+    def test_bias_uniform_bound(self, rng):
+        b = nn_init.bias_uniform((10,), 100, rng)
+        assert np.abs(b).max() <= 0.1 + 1e-9

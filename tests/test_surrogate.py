@@ -1,0 +1,184 @@
+"""Unit tests for the surrogate gradient library (paper Eq. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.surrogate import (
+    ArcTan,
+    FastSigmoid,
+    PiecewiseLinear,
+    Sigmoid,
+    StraightThrough,
+    Triangular,
+    available_surrogates,
+    get_surrogate,
+    register_surrogate,
+    spike,
+)
+from repro.surrogate.base import HeavisideExact, SurrogateFunction
+
+
+class TestArcTan:
+    def test_derivative_matches_paper_equation(self):
+        """dS/dU = (alpha/2) / (1 + (pi U alpha / 2)^2)  (derivative of Eq. 3)."""
+        alpha = 2.0
+        surrogate = ArcTan(scale=alpha)
+        u = np.linspace(-3, 3, 31)
+        expected = (alpha / 2.0) / (1.0 + (np.pi * u * alpha / 2.0) ** 2)
+        assert np.allclose(surrogate.derivative(u), expected)
+
+    def test_derivative_is_numerical_derivative_of_forward(self):
+        surrogate = ArcTan(scale=4.0)
+        u = np.linspace(-2, 2, 41)
+        eps = 1e-6
+        numerical = (surrogate.forward_smooth(u + eps) - surrogate.forward_smooth(u - eps)) / (2 * eps)
+        assert np.allclose(surrogate.derivative(u), numerical, atol=1e-5)
+
+    def test_peak_at_zero_scales_with_alpha(self):
+        assert ArcTan(scale=8.0).derivative(np.array([0.0]))[0] == pytest.approx(4.0)
+
+    def test_larger_scale_narrows_support(self):
+        narrow = ArcTan(scale=16.0).derivative(np.array([1.0]))[0]
+        wide = ArcTan(scale=0.5).derivative(np.array([1.0]))[0]
+        # Relative to its own peak, the high-scale surrogate decays much faster.
+        assert narrow / 8.0 < wide / 0.25
+
+
+class TestFastSigmoid:
+    def test_derivative_matches_paper_equation(self):
+        """dS/dU = 1 / (1 + k|U|)^2 (derivative of Eq. 4)."""
+        k = 25.0
+        surrogate = FastSigmoid(scale=k)
+        u = np.linspace(-2, 2, 21)
+        expected = 1.0 / (1.0 + k * np.abs(u)) ** 2
+        assert np.allclose(surrogate.derivative(u), expected)
+
+    def test_derivative_is_numerical_derivative_of_forward(self):
+        surrogate = FastSigmoid(scale=3.0)
+        u = np.concatenate([np.linspace(-2, -0.1, 10), np.linspace(0.1, 2, 10)])
+        eps = 1e-7
+        numerical = (surrogate.forward_smooth(u + eps) - surrogate.forward_smooth(u - eps)) / (2 * eps)
+        assert np.allclose(surrogate.derivative(u), numerical, atol=1e-4)
+
+    def test_peak_is_one_regardless_of_scale(self):
+        for k in (0.25, 1.0, 25.0):
+            assert FastSigmoid(scale=k).derivative(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_symmetric_in_u(self):
+        surrogate = FastSigmoid(scale=5.0)
+        u = np.linspace(0.1, 3, 10)
+        assert np.allclose(surrogate.derivative(u), surrogate.derivative(-u))
+
+
+class TestOtherSurrogates:
+    def test_sigmoid_derivative_positive_and_peaked_at_zero(self):
+        surrogate = Sigmoid(scale=10.0)
+        u = np.linspace(-1, 1, 21)
+        d = surrogate.derivative(u)
+        assert (d > 0).all()
+        assert d.argmax() == 10  # centre of the grid
+
+    def test_triangular_support_is_bounded(self):
+        surrogate = Triangular(scale=2.0)
+        assert surrogate.derivative(np.array([0.6]))[0] == pytest.approx(0.0)
+        assert surrogate.derivative(np.array([0.0]))[0] == pytest.approx(2.0)
+
+    def test_piecewise_linear_is_boxcar(self):
+        surrogate = PiecewiseLinear(scale=2.0)
+        d = surrogate.derivative(np.array([0.0, 0.4, 0.6]))
+        assert d[0] == pytest.approx(1.0)
+        assert d[1] == pytest.approx(1.0)
+        assert d[2] == pytest.approx(0.0)
+
+    def test_straight_through_passes_gradient(self):
+        surrogate = StraightThrough()
+        assert np.allclose(surrogate.derivative(np.array([-5.0, 0.0, 5.0])), 1.0)
+
+    def test_heaviside_exact_has_zero_gradient(self):
+        surrogate = HeavisideExact()
+        assert np.allclose(surrogate.derivative(np.array([-1.0, 0.0, 1.0])), 0.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            FastSigmoid(scale=0.0)
+        with pytest.raises(ValueError):
+            ArcTan(scale=-1.0)
+
+
+class TestRegistry:
+    def test_all_paper_surrogates_registered(self):
+        names = available_surrogates()
+        assert "arctan" in names
+        assert "fast_sigmoid" in names
+
+    def test_get_surrogate_with_scale(self):
+        s = get_surrogate("fast_sigmoid", 0.25)
+        assert isinstance(s, FastSigmoid)
+        assert s.scale == 0.25
+
+    def test_get_surrogate_normalises_name(self):
+        assert isinstance(get_surrogate("Fast-Sigmoid"), FastSigmoid)
+        assert isinstance(get_surrogate("ARCTAN"), ArcTan)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_surrogate("does_not_exist")
+
+    def test_register_custom_surrogate(self):
+        @register_surrogate
+        class ConstantHalf(SurrogateFunction):
+            name = "constant_half_test"
+
+            def forward_smooth(self, u):
+                return 0.5 * u
+
+            def derivative(self, u):
+                return np.full_like(np.asarray(u, dtype=np.float64), 0.5)
+
+        assert isinstance(get_surrogate("constant_half_test"), ConstantHalf)
+
+    def test_register_requires_name(self):
+        class Unnamed(SurrogateFunction):
+            name = ""
+
+        with pytest.raises(ValueError):
+            register_surrogate(Unnamed)
+
+    def test_equality_and_hash(self):
+        assert FastSigmoid(2.0) == FastSigmoid(2.0)
+        assert FastSigmoid(2.0) != FastSigmoid(3.0)
+        assert hash(FastSigmoid(2.0)) == hash(FastSigmoid(2.0))
+
+
+class TestSpikeFunction:
+    def test_forward_is_heaviside_of_centred_potential(self):
+        mem = Tensor([0.5, 1.0, 1.5], requires_grad=True)
+        spikes = spike(mem, 1.0, FastSigmoid(25.0))
+        # Strict inequality: u > theta.
+        assert spikes.tolist() == [0.0, 0.0, 1.0]
+
+    def test_backward_uses_surrogate_derivative(self):
+        surrogate = FastSigmoid(scale=2.0)
+        mem = Tensor([0.0, 1.0, 2.0], requires_grad=True)
+        spike(mem, 1.0, surrogate).sum().backward()
+        expected = surrogate.derivative(np.array([0.0, 1.0, 2.0]) - 1.0)
+        assert np.allclose(mem.grad, expected)
+
+    def test_backward_with_arctan(self):
+        surrogate = ArcTan(scale=2.0)
+        mem = Tensor([0.3, 1.3], requires_grad=True)
+        spike(mem, 1.0, surrogate).sum().backward()
+        expected = surrogate.derivative(np.array([0.3, 1.3]) - 1.0)
+        assert np.allclose(mem.grad, expected)
+
+    def test_callable_interface(self):
+        surrogate = FastSigmoid(25.0)
+        mem = Tensor([2.0], requires_grad=True)
+        assert surrogate(mem, 1.0).tolist() == [1.0]
+
+    def test_output_is_binary(self):
+        rng = np.random.default_rng(0)
+        mem = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        out = spike(mem, 0.0, FastSigmoid()).numpy()
+        assert set(np.unique(out)).issubset({0.0, 1.0})

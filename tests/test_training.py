@@ -1,0 +1,253 @@
+"""Unit tests for losses, optimizers, schedulers, metrics and callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Parameter
+from repro.training import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    CrossEntropySpikeCount,
+    EarlyStopping,
+    HistoryRecorder,
+    MSESpikeCount,
+    SGD,
+    StepLR,
+    accuracy,
+    confusion_matrix,
+    cross_entropy_logits,
+    top_k_accuracy,
+)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_reference(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]])
+        targets = np.array([0, 1])
+        loss = cross_entropy_logits(Tensor(logits, requires_grad=True), targets)
+        # Reference computation with scipy-style logsumexp.
+        ref = np.mean(np.log(np.exp(logits).sum(axis=1)) - logits[np.arange(2), targets])
+        assert loss.item() == pytest.approx(ref, rel=1e-5)
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        targets = np.array([2])
+        cross_entropy_logits(logits, targets).backward()
+        softmax = np.exp([1.0, 2.0, 3.0]) / np.exp([1.0, 2.0, 3.0]).sum()
+        expected = softmax - np.array([0.0, 0.0, 1.0])
+        assert np.allclose(logits.grad, expected, atol=1e-5)
+
+    def test_cross_entropy_uniform_logits_is_log_num_classes(self):
+        counts = Tensor(np.zeros((4, 10)), requires_grad=True)
+        loss = CrossEntropySpikeCount()(counts, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy_logits(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_mse_count_loss_zero_at_target_rates(self):
+        loss_fn = MSESpikeCount(correct_rate=0.8, incorrect_rate=0.1, num_steps=10)
+        counts = np.full((2, 3), 1.0)
+        counts[0, 1] = 8.0
+        counts[1, 2] = 8.0
+        loss = loss_fn(Tensor(counts, requires_grad=True), np.array([1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_mse_count_loss_penalises_wrong_counts(self):
+        loss_fn = MSESpikeCount(num_steps=10)
+        good = loss_fn(Tensor(np.array([[0.5, 8.0]])), np.array([1])).item()
+        bad = loss_fn(Tensor(np.array([[8.0, 0.5]])), np.array([1])).item()
+        assert bad > good
+
+    def test_mse_invalid_rates(self):
+        with pytest.raises(ValueError):
+            MSESpikeCount(correct_rate=0.1, incorrect_rate=0.5)
+
+
+class TestOptimizers:
+    def _quadratic_params(self):
+        # Minimise f(w) = ||w - 3||^2 from w = 0.
+        return Parameter(np.zeros(4))
+
+    def test_sgd_converges_on_quadratic(self):
+        w = self._quadratic_params()
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            w.zero_grad()
+            w.grad = 2 * (w.data - 3.0)
+            opt.step()
+        assert np.allclose(w.data, 3.0, atol=1e-3)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        w1, w2 = self._quadratic_params(), self._quadratic_params()
+        plain, momentum = SGD([w1], lr=0.01), SGD([w2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            w1.grad = 2 * (w1.data - 3.0)
+            w2.grad = 2 * (w2.data - 3.0)
+            plain.step()
+            momentum.step()
+        assert abs(w2.data - 3.0).max() < abs(w1.data - 3.0).max()
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        w = Parameter(np.ones(3) * 10.0)
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(3)
+        opt.step()
+        assert (w.data < 10.0).all()
+
+    def test_adam_converges_on_quadratic(self):
+        w = self._quadratic_params()
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            w.zero_grad()
+            w.grad = 2 * (w.data - 3.0)
+            opt.step()
+        assert np.allclose(w.data, 3.0, atol=1e-2)
+
+    def test_adam_skips_parameters_without_grad(self):
+        w = Parameter(np.ones(2))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no grad set; must not touch the data
+        assert np.allclose(w.data, 1.0)
+
+    def test_zero_grad(self):
+        w = Parameter(np.ones(2))
+        w.grad = np.ones(2)
+        Adam([w], lr=0.1).zero_grad()
+        assert w.grad is None
+
+    def test_invalid_hyperparameters(self):
+        w = Parameter(np.ones(1))
+        with pytest.raises(ValueError):
+            SGD([w], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([w], lr=0.1, betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_set_lr_accepts_zero_rejects_negative(self):
+        opt = SGD([Parameter(np.ones(1))], lr=0.1)
+        opt.set_lr(0.0)
+        assert opt.lr == 0.0
+        with pytest.raises(ValueError):
+            opt.set_lr(-0.1)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.ones(1))], lr=lr)
+
+    def test_cosine_annealing_endpoints(self):
+        opt = self._optimizer(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        assert sched.current_lr == pytest.approx(1.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_annealing_halfway_is_half(self):
+        opt = self._optimizer(lr=2.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_cosine_annealing_monotone_decreasing(self):
+        opt = self._optimizer(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=25)
+        values = [sched.step() for _ in range(25)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cosine_invalid_params(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), t_max=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(lr=0.1), eta_min=1.0)
+
+    def test_step_lr_decays_every_step_size(self):
+        opt = self._optimizer(lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_constant_lr(self):
+        opt = self._optimizer(lr=0.5)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.5
+
+
+class TestMetrics:
+    def test_accuracy_from_indices(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_from_scores(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(scores, np.array([0, 1])) == 1.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_top_k_accuracy(self):
+        scores = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        assert top_k_accuracy(scores, np.array([1, 0]), k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(scores, np.array([0, 2]), k=1) == 1.0
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=5)
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), num_classes=3)
+        assert cm[0, 0] == 1 and cm[1, 1] == 1 and cm[2, 1] == 1 and cm[2, 2] == 1
+        assert cm.sum() == 4
+
+
+class TestCallbacks:
+    def test_history_recorder_accumulates(self):
+        rec = HistoryRecorder()
+        rec.on_epoch_end(0, {"loss": 1.0})
+        rec.on_epoch_end(1, {"loss": 0.5})
+        assert rec.history["loss"] == [1.0, 0.5]
+        assert rec.last("loss") == 0.5
+        assert rec.last("missing") is None
+
+    def test_early_stopping_triggers_after_patience(self):
+        stopper = EarlyStopping(monitor="val", mode="max", patience=1)
+        stopper.on_epoch_end(0, {"val": 0.5})
+        stopper.on_epoch_end(1, {"val": 0.4})
+        assert not stopper.should_stop()
+        stopper.on_epoch_end(2, {"val": 0.4})
+        assert stopper.should_stop()
+
+    def test_early_stopping_resets_on_improvement(self):
+        stopper = EarlyStopping(monitor="val", mode="max", patience=1)
+        stopper.on_epoch_end(0, {"val": 0.5})
+        stopper.on_epoch_end(1, {"val": 0.4})
+        stopper.on_epoch_end(2, {"val": 0.6})
+        stopper.on_epoch_end(3, {"val": 0.5})
+        assert not stopper.should_stop()
+
+    def test_early_stopping_min_mode(self):
+        stopper = EarlyStopping(monitor="loss", mode="min", patience=0)
+        stopper.on_epoch_end(0, {"loss": 1.0})
+        stopper.on_epoch_end(1, {"loss": 2.0})
+        assert stopper.should_stop()
+
+    def test_early_stopping_ignores_missing_metric(self):
+        stopper = EarlyStopping(monitor="val", patience=0)
+        stopper.on_epoch_end(0, {"other": 1.0})
+        assert not stopper.should_stop()
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
