@@ -1,0 +1,12 @@
+"""Benchmark suite package.
+
+The package marker lets pytest import the benchmark modules with their
+``from .conftest import run_once`` relative imports intact, so the suite
+can be collected uniformly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py -q
+
+Experiment benchmarks run at the ``bench`` reproduction scale (override
+with ``REPRO_SCALE``); performance benchmarks run in smoke mode unless
+``REPRO_BENCH_FULL=1``.
+"""

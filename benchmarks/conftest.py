@@ -28,6 +28,18 @@ def repro_scale():
 
 
 @pytest.fixture(scope="session")
+def bench_smoke() -> bool:
+    """Whether benchmarks should run in fast smoke mode (the default).
+
+    Smoke mode shrinks problem sizes and repetition counts so the whole
+    benchmark suite stays interactive under plain pytest (the runtime
+    speedup benchmark finishes in seconds); set ``REPRO_BENCH_FULL=1`` for
+    full-size statistical runs.
+    """
+    return os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
 def results_store():
     """Session-wide JSON store for measured headline numbers."""
     from repro.core.results import ResultStore

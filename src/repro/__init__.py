@@ -12,6 +12,9 @@ with the paper's methodology on top:
 * :mod:`repro.encoding` — rate / latency / delta / direct input encoders.
 * :mod:`repro.training` — losses, Adam/SGD, cosine annealing, BPTT trainer.
 * :mod:`repro.data` — synthetic SVHN-like dataset and data loading.
+* :mod:`repro.runtime` — event-driven sparse inference runtime (fused LIF
+  kernels, sparsity-exploiting conv/linear paths, measured activity
+  reports feeding the hardware models).
 * :mod:`repro.hardware` — behavioural model of the sparsity-aware FPGA
   accelerator (latency, resources, power, FPS/W) plus baselines.
 * :mod:`repro.core` — the paper's experiments: the 32C3-MP2-32C3-MP2-256-10

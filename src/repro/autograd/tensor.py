@@ -12,7 +12,7 @@ deep-learning code.
 
 from __future__ import annotations
 
-import contextlib
+import functools
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -20,26 +20,58 @@ import numpy as np
 from repro.autograd import ops_conv, ops_elementwise, ops_matmul, ops_reduce, ops_shape
 from repro.autograd.function import Node
 
-_GRAD_ENABLED = True
+# Number of currently active ``no_grad`` contexts.  A depth counter (rather
+# than a saved previous value per context) keeps the enabled/disabled state
+# correct even when contexts are entered and exited out of order — e.g. two
+# generators that each suspend inside ``with no_grad():`` and are resumed
+# or garbage-collected interleaved.
+_NO_GRAD_DEPTH = 0
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently being recorded."""
-    return _GRAD_ENABLED
+    return _NO_GRAD_DEPTH == 0
 
 
-@contextlib.contextmanager
-def no_grad():
-    """Context manager that disables graph recording (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
-    try:
-        yield
-    finally:
-        _GRAD_ENABLED = previous
+class no_grad:
+    """Context manager / decorator that disables graph recording (inference mode).
+
+    Entering increments a global depth counter and exiting decrements it;
+    recording is off while the depth is non-zero.  Unlike the save/restore
+    pattern, this stays correct for nested contexts, exceptions, and
+    re-entrant use from generators whose ``finally`` blocks run in a
+    different order than their entries.
+
+    Can also be used as a function decorator::
+
+        @no_grad()
+        def inference(...): ...
+    """
+
+    def __init__(self) -> None:
+        self._entered = 0
+
+    def __enter__(self) -> "no_grad":
+        global _NO_GRAD_DEPTH
+        _NO_GRAD_DEPTH += 1
+        self._entered += 1
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _NO_GRAD_DEPTH
+        if self._entered > 0:
+            self._entered -= 1
+            _NO_GRAD_DEPTH -= 1
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 class Tensor:

@@ -132,11 +132,14 @@ def run_beta_theta_sweep(
     scale_preset: Optional[str] = None,
     accelerator: Optional[SparsityAwareAccelerator] = None,
     verbose: bool = False,
+    use_runtime: bool = True,
 ) -> BetaThetaSweepResult:
     """Run the Figure 2 cross-sweep.
 
     Defaults follow the paper: fast sigmoid at slope 0.25, ``beta`` and
-    ``theta`` grids spanning the published ranges.
+    ``theta`` grids spanning the published ranges.  ``use_runtime`` routes
+    each cell's evaluation through the event-driven runtime (identical
+    spike trains, faster evaluation).
     """
     betas = [float(b) for b in (betas if betas is not None else PAPER_BETA_GRID)]
     thetas = [float(t) for t in (thetas if thetas is not None else PAPER_THETA_GRID)]
@@ -158,7 +161,9 @@ def run_beta_theta_sweep(
                 threshold=theta,
                 label=f"beta={beta:g}, theta={theta:g}",
             )
-            records[(beta, theta)] = run_experiment(config, accelerator=accelerator, verbose=verbose)
+            records[(beta, theta)] = run_experiment(
+                config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime
+            )
     return BetaThetaSweepResult(records=records, betas=betas, thetas=thetas)
 
 

@@ -148,6 +148,7 @@ def evaluate_trained_model(
     accelerator: Optional[SparsityAwareAccelerator] = None,
     accuracy: Optional[float] = None,
     profile_batches: Optional[int] = 4,
+    use_runtime: bool = True,
 ) -> Tuple[SparsityProfile, HardwareReport]:
     """Profile a trained model and evaluate it on the hardware model.
 
@@ -161,15 +162,46 @@ def evaluate_trained_model(
         Pre-computed test accuracy; measured here if omitted.
     profile_batches:
         Number of test batches used for sparsity profiling.
+    use_runtime:
+        Evaluate and profile through the event-driven runtime
+        (:mod:`repro.runtime`) instead of the dense forward.  The runtime
+        produces identical spike trains, so accuracy and the sparsity
+        profile are unchanged — only faster.  Models the runtime cannot
+        compile fall back to the dense path automatically.
     """
     accel = accelerator if accelerator is not None else SparsityAwareAccelerator()
-    if accuracy is None:
-        from repro.training.trainer import Trainer
-        from repro.training.optim import Adam
+    compiled = None
+    if use_runtime:
+        from repro.runtime import RuntimeCompileError, compile_network
 
-        probe = Trainer(model, encoder, Adam(model.parameters(), lr=1e-3))
-        accuracy = probe.evaluate(test_loader)["accuracy"]
-    profile = profile_sparsity(model, encoder, test_loader, max_batches=profile_batches)
+        try:
+            compiled = compile_network(model)
+        except RuntimeCompileError:
+            compiled = None
+
+    if compiled is not None:
+        from repro.runtime import evaluate_with_runtime
+
+        model.eval()
+        if accuracy is None:
+            # Single sweep: accuracy over the whole loader, activity over
+            # the first `profile_batches` batches.
+            accuracy, activity = evaluate_with_runtime(
+                model, encoder, test_loader, profile_batches=profile_batches, compiled=compiled
+            )
+        else:
+            _, activity = evaluate_with_runtime(
+                model, encoder, test_loader, max_batches=profile_batches, compiled=compiled
+            )
+        profile = activity.to_sparsity_profile()
+    else:
+        if accuracy is None:
+            from repro.training.trainer import Trainer
+            from repro.training.optim import Adam
+
+            probe = Trainer(model, encoder, Adam(model.parameters(), lr=1e-3))
+            accuracy = probe.evaluate(test_loader)["accuracy"]
+        profile = profile_sparsity(model, encoder, test_loader, max_batches=profile_batches)
     workload = build_workload(model, profile)
     report = evaluate_on_hardware(workload, accel, accuracy)
     return profile, report
@@ -179,12 +211,14 @@ def run_experiment(
     config: ExperimentConfig,
     accelerator: Optional[SparsityAwareAccelerator] = None,
     verbose: bool = False,
+    use_runtime: bool = True,
 ) -> ExperimentRecord:
     """Train and evaluate one hyperparameter configuration end to end.
 
     This is the unit of work repeated by every sweep: build the dataset,
     encoder and network from ``config``, train with Adam + cosine annealing,
-    measure test accuracy, profile firing rates, and run the hardware model.
+    measure test accuracy, profile firing rates (through the event-driven
+    runtime by default), and run the hardware model.
     """
     train_loader, test_loader = make_dataset(config)
     encoder = make_encoder(config)
@@ -195,7 +229,7 @@ def run_experiment(
     training = trainer.fit(train_loader, val_loader=test_loader, epochs=config.scale.epochs, verbose=verbose)
     accuracy = training.final_val_accuracy
     profile, hardware = evaluate_trained_model(
-        model, encoder, test_loader, accelerator=accelerator, accuracy=accuracy
+        model, encoder, test_loader, accelerator=accelerator, accuracy=accuracy, use_runtime=use_runtime
     )
     return ExperimentRecord(
         config=config,

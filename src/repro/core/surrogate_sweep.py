@@ -100,6 +100,7 @@ def run_surrogate_sweep(
     scale_preset: Optional[str] = None,
     accelerator: Optional[SparsityAwareAccelerator] = None,
     verbose: bool = False,
+    use_runtime: bool = True,
 ) -> SurrogateSweepResult:
     """Run the Figure 1 sweep.
 
@@ -115,6 +116,9 @@ def run_surrogate_sweep(
         defaults (0.25 / 1.0) unless the template overrides them.
     scale_preset:
         Repro scale preset name (defaults to ``REPRO_SCALE`` or ``bench``).
+    use_runtime:
+        Profile each trained model through the event-driven runtime
+        (identical spike trains, faster evaluation).
     """
     scales = list(scales) if scales is not None else list(PAPER_SCALE_SWEEP)
     surrogates = list(surrogates) if surrogates is not None else list(PAPER_SURROGATES)
@@ -133,7 +137,7 @@ def run_surrogate_sweep(
                 surrogate_scale=float(value),
                 label=f"{surrogate}(scale={value:g})",
             )
-            record = run_experiment(config, accelerator=accelerator, verbose=verbose)
+            record = run_experiment(config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime)
             records[surrogate].append(record)
     return SurrogateSweepResult(records=records, scales=[float(s) for s in scales])
 

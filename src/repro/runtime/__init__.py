@@ -1,0 +1,71 @@
+"""Event-driven sparse inference runtime.
+
+The training stack simulates spiking networks densely: every ``Conv2d`` /
+``Linear`` processes complete activation tensors at every timestep, because
+BPTT needs the full graph.  At inference time none of that is necessary —
+spike tensors are mostly zeros, and the paper's whole premise is that
+hardware exploits exactly that sparsity.  This package is the software
+analogue of the sparsity-aware accelerator:
+
+* :func:`compile_network` lowers a trained :class:`SpikingCNN` /
+  :class:`SpikingMLP` (or any ``Sequential``-ordered spiking classifier)
+  into a plan of fused kernels (:mod:`repro.runtime.kernels`): gather-based
+  sparse matmul for dense layers, im2col-cached sparse convolution, and a
+  fused LIF step (charge + threshold + reset in one pass, no graph
+  recording).
+* :class:`CompiledNetwork.run` executes the timestep loop on raw arrays
+  under ``no_grad`` and produces spike trains identical to the dense
+  forward.
+* :class:`RuntimeActivity` counts the spike events every layer consumes and
+  emits during execution and converts them into the existing
+  :class:`~repro.analysis.sparsity.SparsityProfile` and
+  :class:`~repro.hardware.workload.NetworkWorkload` reports, so measured
+  sparsity feeds the hardware cost models directly.
+* :func:`evaluate_with_runtime` fuses accuracy evaluation and sparsity
+  profiling into a single sweep over a data loader; it backs
+  ``repro.core.experiment.evaluate_trained_model(use_runtime=True)`` and
+  therefore every sweep driver.
+* :mod:`repro.runtime.bench` measures the dense-vs-event-driven speedup
+  (see ``benchmarks/bench_runtime_speedup.py``).
+"""
+
+from repro.runtime.activity import RuntimeActivity
+from repro.runtime.bench import SpeedupResult, make_reduced_cnn, make_spike_sequence, measure_speedup
+from repro.runtime.engine import (
+    CompiledNetwork,
+    InferenceResult,
+    RuntimeCompileError,
+    compile_network,
+    evaluate_with_runtime,
+    run_inference,
+)
+from repro.runtime.kernels import (
+    AvgPoolKernel,
+    ConvKernel,
+    FlattenKernel,
+    FusedLIFKernel,
+    Kernel,
+    LinearKernel,
+    MaxPoolKernel,
+)
+
+__all__ = [
+    "RuntimeActivity",
+    "SpeedupResult",
+    "make_reduced_cnn",
+    "make_spike_sequence",
+    "measure_speedup",
+    "CompiledNetwork",
+    "InferenceResult",
+    "RuntimeCompileError",
+    "compile_network",
+    "evaluate_with_runtime",
+    "run_inference",
+    "Kernel",
+    "ConvKernel",
+    "LinearKernel",
+    "FusedLIFKernel",
+    "MaxPoolKernel",
+    "AvgPoolKernel",
+    "FlattenKernel",
+]

@@ -1,0 +1,293 @@
+"""Compile a trained spiking network into a fused event-driven inference plan.
+
+:func:`compile_network` walks a model's registered submodules (whose
+registration order is the execution order for :class:`SpikingCNN`,
+:class:`SpikingMLP` and :class:`~repro.nn.sequential.Sequential` chains) and
+lowers each layer to a fused NumPy kernel from
+:mod:`repro.runtime.kernels`.  The resulting :class:`CompiledNetwork` runs
+the timestep loop entirely on raw arrays — no autograd tensors, no graph
+recording — while counting the spike events each layer consumes and emits.
+
+The compiled forward produces spike trains identical to the dense training
+forward — enforced by ``tests/test_runtime_equivalence.py`` and the
+benchmark's correctness gate (see :mod:`repro.runtime.kernels` for the
+exact numerical contract) — so it can transparently replace the dense path
+for evaluation and sparsity profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.neurons.base import SpikingNeuron
+from repro.neurons.lif import LIF
+from repro.nn.conv import Conv2d
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.pool import AvgPool2d, MaxPool2d
+from repro.nn.sequential import Sequential
+from repro.runtime.activity import RuntimeActivity
+from repro.runtime.kernels import (
+    AvgPoolKernel,
+    ConvKernel,
+    FlattenKernel,
+    FusedLIFKernel,
+    Kernel,
+    LinearKernel,
+    MaxPoolKernel,
+)
+
+
+class RuntimeCompileError(ValueError):
+    """Raised when a model contains layers the runtime cannot lower."""
+
+
+@dataclass
+class InferenceResult:
+    """Output of one event-driven run.
+
+    Attributes
+    ----------
+    counts:
+        Accumulated output spike counts, shape ``(N, num_classes)`` — the
+        same quantity the dense ``model.forward`` returns.
+    activity:
+        Measured spike activity for this run (``None`` when recording was
+        disabled).
+    spike_trains:
+        Per spiking layer, the full ``(T, N, ...)`` spike train.  Only
+        populated when the run collected trains (equivalence testing and
+        debugging); ``None`` otherwise.
+    """
+
+    counts: np.ndarray
+    activity: Optional[RuntimeActivity] = None
+    spike_trains: Optional[Dict[str, np.ndarray]] = None
+
+    def predictions(self) -> np.ndarray:
+        """Predicted class per sample (argmax of output spike counts)."""
+        return self.counts.argmax(axis=-1)
+
+
+def _lower_module(name: str, module: Module) -> Optional[Kernel]:
+    """Map one layer module to its fused kernel (``None`` to skip)."""
+    if isinstance(module, Conv2d):
+        bias = module.bias.data if module.bias is not None else None
+        return ConvKernel(name, module.weight.data, bias, stride=module.stride, padding=module.padding)
+    if isinstance(module, Linear):
+        bias = module.bias.data if module.bias is not None else None
+        return LinearKernel(name, module.weight.data, bias)
+    if isinstance(module, LIF):
+        if module.learn_beta:
+            raise RuntimeCompileError(f"layer '{name}': learned beta is not supported by the runtime")
+        return FusedLIFKernel(name, module.beta, module.threshold, module.reset_mechanism)
+    if isinstance(module, SpikingNeuron):
+        raise RuntimeCompileError(
+            f"layer '{name}': {type(module).__name__} neurons are not supported by the runtime (only LIF)"
+        )
+    if isinstance(module, MaxPool2d):
+        return MaxPoolKernel(name, module.kernel_size)
+    if isinstance(module, AvgPool2d):
+        return AvgPoolKernel(name, module.kernel_size)
+    if isinstance(module, Flatten):
+        return FlattenKernel(name)
+    if isinstance(module, Dropout):
+        return None  # identity at inference time
+    raise RuntimeCompileError(
+        f"layer '{name}': {type(module).__name__} has no event-driven lowering"
+    )
+
+
+def _collect_kernels(model: Module, prefix: str = "") -> List[Kernel]:
+    kernels: List[Kernel] = []
+    for name, module in model._modules.items():
+        full_name = f"{prefix}{name}"
+        if isinstance(module, Sequential) or type(module).__name__ == "Sequential":
+            kernels.extend(_collect_kernels(module, prefix=f"{full_name}."))
+        else:
+            kernel = _lower_module(full_name, module)
+            if kernel is not None:
+                kernels.append(kernel)
+    return kernels
+
+
+def compile_network(model: Module) -> "CompiledNetwork":
+    """Lower a spiking classifier into a :class:`CompiledNetwork`.
+
+    The model's registered submodules must execute in registration order
+    (true for :class:`SpikingCNN`, :class:`SpikingMLP` and ``Sequential``
+    pipelines).  Weight kernels keep live references to the model's
+    parameter arrays, so in-place updates (``load_state_dict``) are picked
+    up without recompiling.
+
+    Raises
+    ------
+    RuntimeCompileError
+        If the model contains a layer type the runtime cannot lower.
+    """
+    kernels = _collect_kernels(model)
+    if not any(k.is_spiking_stage for k in kernels):
+        raise RuntimeCompileError("model contains no spiking layers to compile")
+    layer_specs = model.layer_specs() if hasattr(model, "layer_specs") else None
+    return CompiledNetwork(kernels, layer_specs=layer_specs)
+
+
+class CompiledNetwork:
+    """An executable plan of fused kernels plus activity bookkeeping.
+
+    Parameters
+    ----------
+    kernels:
+        Pipeline stages in execution order.
+    layer_specs:
+        Optional architecture description (``model.layer_specs()``) used to
+        build hardware workloads from measured activity.
+    """
+
+    def __init__(self, kernels: List[Kernel], layer_specs=None) -> None:
+        self.kernels = list(kernels)
+        self.layer_specs = layer_specs
+        # Weight stage -> the spiking stage that fires on its output, used
+        # to sanity-map measured activity onto layer_specs' firing layers.
+        self.weight_stage_names = [k.name for k in self.kernels if k.is_weight_stage]
+        self.spiking_stage_names = [k.name for k in self.kernels if k.is_spiking_stage]
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear membrane state and cached buffers before a new sequence."""
+        for kernel in self.kernels:
+            kernel.reset()
+
+    def run(
+        self,
+        spike_sequence,
+        record_activity: bool = True,
+        collect_spike_trains: bool = False,
+    ) -> InferenceResult:
+        """Execute the timestep loop on a ``(T, N, ...)`` spike sequence.
+
+        The loop runs under :func:`~repro.autograd.tensor.no_grad` and never
+        constructs autograd tensors, so no computation graph can be
+        recorded.  Membrane state is reset at the start of every call.
+        ``collect_spike_trains`` additionally stores every spiking layer's
+        full spike train on the result (for equivalence testing).
+        """
+        if isinstance(spike_sequence, Tensor):
+            spike_sequence = spike_sequence.data
+        spike_sequence = np.asarray(spike_sequence)
+        if spike_sequence.ndim < 3:
+            raise ValueError(
+                f"expected a (T, N, ...) spike sequence, got shape {spike_sequence.shape}"
+            )
+        num_steps = spike_sequence.shape[0]
+        batch = spike_sequence.shape[1]
+
+        self.reset()
+        for kernel in self.kernels:
+            kernel.prepare()
+
+        activity = RuntimeActivity(num_steps=num_steps, samples=batch) if record_activity else None
+        if activity is not None:
+            activity.input_events = float(spike_sequence.sum())
+        trains: Optional[Dict[str, List[np.ndarray]]] = (
+            {name: [] for name in self.spiking_stage_names} if collect_spike_trains else None
+        )
+
+        counts: Optional[np.ndarray] = None
+        with no_grad():
+            for t in range(num_steps):
+                x = spike_sequence[t]
+                for kernel in self.kernels:
+                    if kernel.is_weight_stage and isinstance(kernel, LinearKernel) and x.ndim > 2:
+                        x = x.reshape(x.shape[0], -1)
+                    if activity is not None and kernel.is_weight_stage:
+                        activity.layer_input_events[kernel.name] = (
+                            activity.layer_input_events.get(kernel.name, 0.0)
+                            + float(np.count_nonzero(x))
+                        )
+                    x = kernel.run(x)
+                    if kernel.is_spiking_stage:
+                        if activity is not None:
+                            activity.layer_output_events[kernel.name] = (
+                                activity.layer_output_events.get(kernel.name, 0.0)
+                                + float(np.count_nonzero(x))
+                            )
+                            activity.layer_neuron_counts[kernel.name] = int(x[0].size)
+                        if trains is not None:
+                            trains[kernel.name].append(x.copy())
+                if counts is None:
+                    counts = x.copy()
+                else:
+                    counts += x
+        spike_trains = (
+            {name: np.stack(steps) for name, steps in trains.items()} if trains is not None else None
+        )
+        return InferenceResult(counts=counts, activity=activity, spike_trains=spike_trains)
+
+
+def run_inference(model: Module, spike_sequence, record_activity: bool = True) -> InferenceResult:
+    """Compile ``model`` and run one event-driven inference.
+
+    Convenience wrapper over :func:`compile_network` +
+    :meth:`CompiledNetwork.run`; compile once and reuse the
+    :class:`CompiledNetwork` when running many batches.
+    """
+    return compile_network(model).run(spike_sequence, record_activity=record_activity)
+
+
+def evaluate_with_runtime(
+    model: Module,
+    encoder,
+    loader,
+    max_batches: Optional[int] = None,
+    profile_batches: Optional[int] = None,
+    compiled: Optional[CompiledNetwork] = None,
+) -> Tuple[float, RuntimeActivity]:
+    """Evaluate accuracy and measure spike activity in a single sweep.
+
+    Replaces the dense ``Trainer.evaluate`` + ``profile_sparsity`` pair for
+    supported models: one pass over ``loader`` computes classification
+    accuracy while the runtime's event counters provide the sparsity
+    profile for free.
+
+    Parameters
+    ----------
+    model, encoder, loader:
+        Trained model, its input encoder, and the data to evaluate on.
+    max_batches:
+        Optional cap on batches used for *accuracy* (default: all).
+    profile_batches:
+        Optional cap on batches contributing to the *activity report*
+        (default: same batches as accuracy).  Mirrors the dense pipeline's
+        ``profile_batches`` cost control.
+    compiled:
+        Reuse an existing compiled plan instead of compiling ``model``.
+    """
+    plan = compiled if compiled is not None else compile_network(model)
+    if profile_batches is not None:
+        # Mirror the dense profiler's post-increment break: at least one
+        # batch always contributes, so the activity report is never empty.
+        profile_batches = max(int(profile_batches), 1)
+    activity = RuntimeActivity(num_steps=encoder.num_steps)
+    total, correct, batches = 0, 0, 0
+    for images, labels in loader:
+        spikes = encoder(images)
+        record = profile_batches is None or batches < profile_batches
+        result = plan.run(spikes, record_activity=record)
+        preds = result.predictions()
+        correct += int((preds == np.asarray(labels)).sum())
+        total += len(labels)
+        if record and result.activity is not None:
+            activity.merge(result.activity)
+        batches += 1
+        if max_batches is not None and batches >= max_batches:
+            break
+    if total == 0:
+        raise ValueError("loader yielded no samples to evaluate")
+    return correct / total, activity

@@ -1,0 +1,353 @@
+"""Fused NumPy kernels for the event-driven inference runtime.
+
+Each kernel is a plain-array analogue of one :mod:`repro.nn` /
+:mod:`repro.neurons` layer, specialised for inference:
+
+* no :class:`~repro.autograd.tensor.Tensor` wrapping and no graph recording,
+* buffers (padded inputs, im2col views, bias maps) cached across timesteps,
+* sparsity-exploiting fast paths that skip work on zero spikes.
+
+Numerical contract: every kernel produces **the same spike-relevant values**
+as the dense training path.  The dense fallback paths call the exact same
+NumPy routines on the exact same arrays as the autograd ops, so they are
+bitwise identical by construction.  The sparse gather paths skip only terms
+that are exactly zero; their reductions run over the same addends but BLAS
+may group them differently, so identity of the resulting spike trains is
+*enforced by the equivalence test suite* (and the benchmark's correctness
+gate) rather than guaranteed by IEEE arithmetic alone — a platform whose
+BLAS rounds a borderline membrane differently would be caught by those
+gates, not silently accepted.
+
+Weight kernels reference the live parameter arrays of the model they were
+compiled from (no copy), so a compiled network tracks in-place weight
+updates such as ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+
+class Kernel:
+    """Base class: one fused pipeline stage operating on raw ``ndarray``s."""
+
+    #: Set on weight kernels (conv / linear); the engine records input events
+    #: for these stages.
+    is_weight_stage = False
+    #: Set on spiking kernels; the engine records output events for these.
+    is_spiking_stage = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def reset(self) -> None:
+        """Drop per-sequence state (membranes) and shape-bound caches."""
+
+    def prepare(self) -> None:
+        """Called once at the start of every engine run (before any timestep).
+
+        Kernels that snapshot weights into a different layout refresh the
+        snapshot here so in-place parameter updates (e.g. ``load_state_dict``
+        between runs) are always reflected.
+        """
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class LinearKernel(Kernel):
+    """Sparse-aware affine transform ``y = x W^T + b``.
+
+    Fast paths, in order:
+
+    1. **silent frame** — no input spikes at all: the output is exactly the
+       bias row, served from a cached buffer without touching the weights.
+    2. **gather** — input density at or below ``density_threshold``: for each
+       sample, index the non-zero input columns and reduce only the
+       corresponding rows of ``W^T`` (event-driven synaptic accumulation).
+    3. **dense** — BLAS matmul on the same arrays the autograd op uses.
+    """
+
+    is_weight_stage = True
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        density_threshold: float = 0.25,
+    ) -> None:
+        super().__init__(name)
+        self.weight = weight  # (out_features, in_features), live reference
+        self.bias = bias  # (out_features,) or None
+        self.density_threshold = float(density_threshold)
+        self._weight_t: Optional[np.ndarray] = None  # row-gatherable (I, O) copy
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def _gather_weight(self) -> np.ndarray:
+        # C-contiguous (in, out) layout so indexing active inputs gathers rows.
+        if self._weight_t is None:
+            self._weight_t = np.ascontiguousarray(self.weight.T)
+        return self._weight_t
+
+    def prepare(self) -> None:
+        self._weight_t = None
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if frame.ndim != 2:
+            frame = frame.reshape(frame.shape[0], -1)
+        n = frame.shape[0]
+        nnz = int(np.count_nonzero(frame))
+        if nnz == 0:
+            out = np.zeros((n, self.out_features), dtype=frame.dtype)
+            if self.bias is not None:
+                out += self.bias
+            return out
+        density = nnz / frame.size
+        if density <= self.density_threshold:
+            weight_t = self._gather_weight()
+            out = np.empty((n, self.out_features), dtype=frame.dtype)
+            for i in range(n):
+                idx = np.flatnonzero(frame[i])
+                if idx.size == 0:
+                    out[i] = 0.0
+                else:
+                    out[i] = frame[i, idx] @ weight_t[idx]
+            if self.bias is not None:
+                out += self.bias
+            return out
+        out = frame @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ConvKernel(Kernel):
+    """Sparse-aware 2-D cross-correlation with cached im2col buffers.
+
+    The padded input buffer and its ``as_strided`` column view are allocated
+    once per input shape and reused for every timestep, so the per-step cost
+    is one interior copy plus the contraction itself.  Fast paths:
+
+    1. **silent frame** — output is exactly the broadcast bias map.
+    2. **row gather** — when a large enough fraction of output positions has
+       an entirely silent receptive field, only the active patches are
+       gathered and multiplied; silent patches receive the bias directly.
+    3. **dense** — the same ``tensordot`` contraction as the autograd op.
+    """
+
+    is_weight_stage = True
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int = 1,
+        padding: int = 0,
+        row_sparsity_threshold: float = 0.5,
+    ) -> None:
+        super().__init__(name)
+        self.weight = weight  # (C_out, C_in, KH, KW), live reference
+        self.bias = bias  # (C_out,) or None
+        self.stride = int(stride)
+        self.padding = int(padding)
+        # Use the gather path only when at least this fraction of output
+        # positions is silent (gathering costs roughly 2x per computed row).
+        self.row_sparsity_threshold = float(row_sparsity_threshold)
+        self._in_key = None
+        self._padded: Optional[np.ndarray] = None
+        self._padded_bool: Optional[np.ndarray] = None
+        self._cols: Optional[np.ndarray] = None
+        self._bool_windows: Optional[np.ndarray] = None
+        self._out_shape: Optional[Tuple[int, ...]] = None
+
+    def reset(self) -> None:
+        self._in_key = None
+        self._padded = None
+        self._padded_bool = None
+        self._cols = None
+        self._bool_windows = None
+        self._out_shape = None
+
+    def _ensure_buffers(self, frame: np.ndarray) -> None:
+        if self._in_key == (frame.shape, frame.dtype) and self._padded is not None:
+            return
+        n, c, h, w = frame.shape
+        p, s = self.padding, self.stride
+        c_out, c_in, kh, kw = self.weight.shape
+        hp, wp = h + 2 * p, w + 2 * p
+        oh = (hp - kh) // s + 1
+        ow = (wp - kw) // s + 1
+        self._padded = np.zeros((n, c, hp, wp), dtype=frame.dtype)
+        sn, sc, sh, sw = self._padded.strides
+        self._cols = as_strided(
+            self._padded,
+            shape=(n, c, kh, kw, oh, ow),
+            strides=(sn, sc, sh, sw, sh * s, sw * s),
+        )
+        self._padded_bool = np.zeros((n, hp, wp), dtype=bool)
+        bn, bh, bw = self._padded_bool.strides
+        self._bool_windows = as_strided(
+            self._padded_bool,
+            shape=(n, oh, ow, kh, kw),
+            strides=(bn, bh * s, bw * s, bh, bw),
+        )
+        self._in_key = (frame.shape, frame.dtype)
+        self._out_shape = (n, c_out, oh, ow)
+
+    def _bias_map(self, out_shape: Tuple[int, ...], dtype) -> np.ndarray:
+        out = np.zeros(out_shape, dtype=dtype)
+        if self.bias is not None:
+            out += self.bias[None, :, None, None]
+        return out
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if frame.ndim != 4:
+            raise ValueError(f"ConvKernel expects NCHW input, got shape {frame.shape}")
+        self._ensure_buffers(frame)
+        n, c, h, w = frame.shape
+        p = self.padding
+        if not frame.any():
+            return self._bias_map(self._out_shape, frame.dtype)
+
+        self._padded[:, :, p : p + h, p : p + w] = frame
+        c_out, c_in, kh, kw = self.weight.shape
+        _, _, oh, ow = self._out_shape
+
+        # Receptive-field activity: an output position can be skipped iff
+        # every input inside its window is zero (its contribution is then
+        # exactly the bias).  Each active pixel touches at most KH*KW
+        # windows, which bounds the active fraction from above; computing
+        # the exact window map is only worth it when that cheap bound says
+        # the gather path could win.
+        row_active = None
+        amap = frame.any(axis=1)  # (N, H, W)
+        active_bound = np.count_nonzero(amap) * kh * kw / (n * oh * ow)
+        if active_bound <= 1.0 - self.row_sparsity_threshold:
+            self._padded_bool[:, p : p + h, p : p + w] = amap
+            row_active = self._bool_windows.any(axis=(3, 4))  # (N, OH, OW)
+            active_fraction = float(np.count_nonzero(row_active)) / row_active.size
+            if active_fraction > 1.0 - self.row_sparsity_threshold:
+                row_active = None
+
+        if row_active is not None:
+            # Gather only active patches: (L', C, KH, KW) -> (L', F).
+            patches = self._cols.transpose(0, 4, 5, 1, 2, 3)[row_active]
+            flat = patches.reshape(patches.shape[0], c_in * kh * kw)
+            w_mat = self.weight.reshape(c_out, c_in * kh * kw)
+            out_nhwc = np.zeros((n, oh, ow, c_out), dtype=frame.dtype)
+            out_nhwc[row_active] = flat @ w_mat.T
+            out = np.ascontiguousarray(out_nhwc.transpose(0, 3, 1, 2))
+            if self.bias is not None:
+                out += self.bias[None, :, None, None]
+            return out
+
+        # Dense path: identical contraction to repro.autograd.ops_conv.Conv2d.
+        out = np.tensordot(self._cols, self.weight, axes=([1, 2, 3], [1, 2, 3]))
+        out = out.transpose(0, 3, 1, 2)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None, None]
+        return np.ascontiguousarray(out)
+
+
+class FusedLIFKernel(Kernel):
+    """Fused LIF timestep: charge, threshold, and reset in one pass.
+
+    Implements the same update as :class:`repro.neurons.lif.LIF` —
+    ``u[t+1] = beta * u[t] + I_syn[t] - s[t] * theta`` with Heaviside spike
+    generation — but in-place on a persistent membrane buffer with no graph
+    recording and no intermediate tensor allocation.
+
+    ``u > theta`` is used directly instead of ``(u - theta) > 0``: the two
+    predicates agree for every float (the rounded difference of floats on
+    opposite sides of the threshold cannot cross zero), so the spike trains
+    match the dense path exactly.
+    """
+
+    is_spiking_stage = True
+
+    def __init__(self, name: str, beta: float, threshold: float, reset_mechanism: str = "subtract") -> None:
+        super().__init__(name)
+        if reset_mechanism not in ("subtract", "zero", "none"):
+            raise ValueError(f"unknown reset mechanism '{reset_mechanism}'")
+        self.beta = float(beta)
+        self.threshold = float(threshold)
+        self.reset_mechanism = reset_mechanism
+        self.mem: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self.mem = None
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.mem is None or self.mem.shape != frame.shape:
+            self.mem = np.zeros_like(frame)
+        mem = self.mem
+        mem *= self.beta
+        mem += frame
+        spikes = (mem > self.threshold).astype(frame.dtype)
+        if self.reset_mechanism == "subtract":
+            mem -= spikes * self.threshold
+        elif self.reset_mechanism == "zero":
+            mem *= 1.0 - spikes
+        return spikes
+
+
+class MaxPoolKernel(Kernel):
+    """Non-overlapping max pooling (kernel == stride), no backward mask.
+
+    Computed as an elementwise maximum over the k*k strided phase views
+    rather than a multi-axis window reduction — same values (max is exact
+    and order-free), several times faster on small maps.
+    """
+
+    def __init__(self, name: str, kernel_size: int) -> None:
+        super().__init__(name)
+        self.kernel_size = int(kernel_size)
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        n, c, h, w = frame.shape
+        k = self.kernel_size
+        oh, ow = h // k, w // k
+        out = np.ascontiguousarray(frame[:, :, : oh * k : k, : ow * k : k])
+        for i in range(k):
+            for j in range(k):
+                if i == 0 and j == 0:
+                    continue
+                np.maximum(out, frame[:, :, i : oh * k : k, j : ow * k : k], out=out)
+        return out
+
+
+class AvgPoolKernel(Kernel):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, name: str, kernel_size: int) -> None:
+        super().__init__(name)
+        self.kernel_size = int(kernel_size)
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        n, c, h, w = frame.shape
+        k = self.kernel_size
+        oh, ow = h // k, w // k
+        windows = frame[:, :, : oh * k, : ow * k].reshape(n, c, oh, k, ow, k)
+        return windows.mean(axis=(3, 5))
+
+
+class FlattenKernel(Kernel):
+    """Flatten everything after the batch dimension."""
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        return frame.reshape(frame.shape[0], -1)

@@ -1,11 +1,12 @@
 """Property-based tests (hypothesis) for autograd invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.autograd import Tensor
-from repro.autograd.function import unbroadcast
+from repro.autograd import Tensor, no_grad
+from repro.autograd.function import Node, unbroadcast
 
 small_floats = hnp.arrays(
     dtype=np.float64,
@@ -109,6 +110,55 @@ def test_unbroadcast_restores_shape(data):
     broadcast = np.broadcast_to(data[:1], data.shape)
     reduced = unbroadcast(broadcast.copy(), target_shape)
     assert reduced.shape == target_shape
+
+
+@pytest.fixture
+def node_counter(monkeypatch):
+    """Count every Node the graph recorder instantiates."""
+    created = []
+    original_init = Node.__init__
+
+    def counting_init(self, fn, ctx, inputs):
+        created.append(fn)
+        original_init(self, fn, ctx, inputs)
+
+    monkeypatch.setattr(Node, "__init__", counting_init)
+    return created
+
+
+def test_no_grad_records_no_nodes(node_counter):
+    """Ops on requires_grad tensors must not build a graph under no_grad."""
+    x = Tensor(np.random.default_rng(0).standard_normal((3, 4)), requires_grad=True)
+    w = Tensor(np.random.default_rng(1).standard_normal((5, 4)), requires_grad=True)
+    with no_grad():
+        out = ((x.linear(w) * 2.0).relu() + 1.0).sum()
+    assert out._node is None
+    assert not out.requires_grad
+    assert node_counter == []
+
+
+def test_runtime_execution_records_no_nodes(node_counter):
+    """The event-driven runtime must never touch the autograd graph.
+
+    This is the memory/graph leak guard for inference: a full compiled run
+    over a network with requires_grad parameters must instantiate zero
+    graph nodes, while a dense training forward on the same model must
+    instantiate plenty.
+    """
+    from repro.core.network import SpikingMLP
+    from repro.runtime import compile_network
+
+    model = SpikingMLP(in_features=12, hidden_units=6, seed=0)
+    model.eval()
+    spikes = (np.random.default_rng(2).random((4, 3, 12)) < 0.3).astype(np.float32)
+
+    compile_network(model).run(spikes, collect_spike_trains=True)
+    assert node_counter == [], "runtime execution recorded autograd nodes"
+
+    model.train()
+    model.reset_spiking_state()
+    model(Tensor(spikes))
+    assert len(node_counter) > 0, "sanity check: dense training forward should record nodes"
 
 
 @settings(max_examples=30, deadline=None)

@@ -99,6 +99,66 @@ class TestBackwardBasics:
             assert not is_grad_enabled()
         assert is_grad_enabled()
 
+    def test_no_grad_nested_contexts_restore_correctly(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            # Still inside the outer context.
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_no_grad_interleaved_generators_restore_correctly(self):
+        """Generators suspended inside no_grad must not corrupt the state.
+
+        With the old save/restore implementation, two generators entered in
+        order A, B but finalised in order A, B would re-enable gradients
+        while B was still inside its context (A restored the True it saved
+        on entry).  The depth-counted implementation keeps gradients off
+        until *every* context has exited, in any order.
+        """
+
+        def gen():
+            with no_grad():
+                yield
+                yield
+
+        a, b = gen(), gen()
+        next(a)  # A enters no_grad
+        next(b)  # B enters no_grad
+        a.close()  # A's finally runs first...
+        assert not is_grad_enabled()  # ...but B is still inside its context
+        b.close()
+        assert is_grad_enabled()
+
+    def test_no_grad_abandoned_generator_restores_on_gc(self):
+        def gen():
+            with no_grad():
+                yield
+
+        g = gen()
+        next(g)
+        assert not is_grad_enabled()
+        del g  # finalised by refcounting; the context must still unwind
+        assert is_grad_enabled()
+
+    def test_no_grad_as_decorator(self):
+        @no_grad()
+        def inference(t):
+            assert not is_grad_enabled()
+            return t * 2.0
+
+        x = Tensor([1.0], requires_grad=True)
+        y = inference(x)
+        assert y._node is None
+        assert is_grad_enabled()
+
     def test_detach_blocks_gradient(self):
         x = Tensor([1.0], requires_grad=True)
         y = x.detach() * 5.0
