@@ -11,6 +11,7 @@ pick the deployment configuration.  The paper's selection (``beta = 0.5``,
 Run:
     python examples/beta_theta_tuning.py
     python examples/beta_theta_tuning.py --betas 0.25 0.5 0.7 --thetas 1.0 1.5 2.5 --budget 0.03
+    python examples/beta_theta_tuning.py --workers 4 --cache   # parallel + cached
 """
 
 from __future__ import annotations
@@ -34,6 +35,18 @@ def main() -> None:
         help="maximum accuracy loss accepted when selecting the trade-off point",
     )
     parser.add_argument("--output-csv", default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for the sweep (default serial, or REPRO_SWEEP_WORKERS)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="cache trained cells under .repro_cache/ so re-runs and grid "
+        "extensions only train new configurations",
+    )
     args = parser.parse_args()
 
     scale_preset = os.environ.get("REPRO_SCALE", "bench")
@@ -41,7 +54,13 @@ def main() -> None:
         f"running the Figure 2 cross-sweep at scale '{scale_preset}' "
         f"over beta={args.betas}, theta={args.thetas}"
     )
-    result = run_beta_theta_sweep(betas=args.betas, thetas=args.thetas, scale_preset=scale_preset)
+    result = run_beta_theta_sweep(
+        betas=args.betas,
+        thetas=args.thetas,
+        scale_preset=scale_preset,
+        workers=args.workers,
+        cache=args.cache,
+    )
 
     print()
     print(format_figure2(result, max_accuracy_loss=args.budget))

@@ -15,6 +15,9 @@ with the paper's methodology on top:
 * :mod:`repro.runtime` — event-driven sparse inference runtime (fused LIF
   kernels, sparsity-exploiting conv/linear paths, measured activity
   reports feeding the hardware models).
+* :mod:`repro.exec` — sweep execution subsystem: process-pool parallel
+  experiment runner with deterministic seeding, structured progress, and a
+  content-addressed on-disk result cache.
 * :mod:`repro.hardware` — behavioural model of the sparsity-aware FPGA
   accelerator (latency, resources, power, FPS/W) plus baselines.
 * :mod:`repro.core` — the paper's experiments: the 32C3-MP2-32C3-MP2-256-10
@@ -34,8 +37,10 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from repro import analysis, autograd, core, data, encoding, hardware, neurons, nn, surrogate, training
+from repro import analysis, autograd, core, data, encoding, exec, hardware, neurons, nn, surrogate, training
 
+# NOTE: repro.exec (the sweep executor, imported above) is deliberately NOT
+# in __all__ — `from repro import *` must never rebind the exec() builtin.
 __all__ = [
     "__version__",
     "autograd",

@@ -26,11 +26,13 @@ Example
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, zeros, ones, randn, rand, arange, tensor
 from repro.autograd.function import Function, Context
 from repro.autograd.gradcheck import gradcheck, numerical_gradient
+from repro.autograd.ops_spiking import fused_lif_step
 
 __all__ = [
     "Tensor",
     "Function",
     "Context",
+    "fused_lif_step",
     "no_grad",
     "is_grad_enabled",
     "gradcheck",

@@ -8,12 +8,42 @@ product, which keeps per-timestep BPTT affordable in pure NumPy.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from repro.autograd.function import Context, Function
+
+# ---------------------------------------------------------------------- #
+# Backward scratch buffers
+#
+# During BPTT every timestep runs its own Conv2d backward, and the three
+# large temporaries it needs (the lowered gradient columns, their matmul
+# input, and the padded input-gradient accumulator) have the same shape at
+# every timestep.  Allocating them per call dominated backward overhead, so
+# they are served from a per-process pool keyed by (tag, shape, dtype) and
+# reused across calls.  Backward passes run sequentially within a process
+# (the autograd engine is single-threaded; sweep workers are separate
+# processes), and any array that outlives a backward call — e.g. the
+# returned input gradient — is copied out of the scratch space first.
+# ---------------------------------------------------------------------- #
+_SCRATCH: Dict[Tuple[str, Tuple[int, ...], str], np.ndarray] = {}
+
+
+def _scratch(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """Return a reusable uninitialised buffer for ``tag`` at ``shape``."""
+    key = (tag, tuple(shape), np.dtype(dtype).str)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=dtype)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def clear_scratch() -> None:
+    """Drop all pooled backward scratch buffers (frees memory; used by tests)."""
+    _SCRATCH.clear()
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
@@ -81,21 +111,30 @@ class Conv2d(Function):
         # (N, C, KH, KW, OH, OW) x (N, C_out, OH, OW) -> (C_out, C, KH, KW)
         grad_w = np.tensordot(go, cols, axes=([0, 2, 3], [0, 4, 5]))
 
-        # Input gradient: scatter the weighted output gradient back.
-        # (N, C_out, OH, OW) x (C_out, C, KH, KW) -> (N, OH, OW, C, KH, KW)
-        grad_cols = np.tensordot(go, weight, axes=([1], [0]))
-        grad_xp = np.zeros_like(xp)
-        # Accumulate each kernel offset in a vectorised slice-add.
+        # Input gradient: scatter the weighted output gradient back through
+        # the column lowering.  (N, C_out, OH, OW) x (C_out, C, KH, KW) ->
+        # (N, OH, OW, C, KH, KW), computed as one matmul into pooled scratch.
+        go_mat = _scratch("conv_go", (n * oh * ow, c_out), go.dtype)
+        np.copyto(go_mat.reshape(n, oh, ow, c_out), go.transpose(0, 2, 3, 1))
+        grad_cols_mat = _scratch("conv_gcols", (n * oh * ow, c_in * kh * kw), go.dtype)
+        np.matmul(go_mat, weight.reshape(c_out, c_in * kh * kw), out=grad_cols_mat)
+        grad_cols = grad_cols_mat.reshape(n, oh, ow, c_in, kh, kw)
+
+        grad_xp = _scratch("conv_gxp", xp.shape, go.dtype)
+        grad_xp.fill(0)
+        # Accumulate each kernel offset in a vectorised slice-add (col2im).
         for i in range(kh):
             for j in range(kw):
                 grad_xp[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += (
                     grad_cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
                 )
+        # Copy the result out of the scratch space: the returned gradient is
+        # held by the autograd engine while later backward calls reuse it.
         if padding > 0:
             h, w = x_shape[2], x_shape[3]
-            grad_x = grad_xp[:, :, padding : padding + h, padding : padding + w]
+            grad_x = grad_xp[:, :, padding : padding + h, padding : padding + w].copy()
         else:
-            grad_x = grad_xp
+            grad_x = grad_xp.copy()
         grad_b = go.sum(axis=(0, 2, 3)) if has_bias else None
         return grad_x, grad_w, grad_b, None, None
 

@@ -18,7 +18,7 @@ import numpy as np
 from repro.analysis.plots import ascii_heatmap
 from repro.analysis.tables import format_table
 from repro.core.config import ExperimentConfig, resolve_scale
-from repro.core.experiment import ExperimentRecord, run_experiment
+from repro.core.experiment import ExperimentRecord
 from repro.hardware.accelerator import SparsityAwareAccelerator
 
 #: Grids matching the paper's Figure 2 axes.
@@ -133,14 +133,21 @@ def run_beta_theta_sweep(
     accelerator: Optional[SparsityAwareAccelerator] = None,
     verbose: bool = False,
     use_runtime: bool = True,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> BetaThetaSweepResult:
     """Run the Figure 2 cross-sweep.
 
     Defaults follow the paper: fast sigmoid at slope 0.25, ``beta`` and
     ``theta`` grids spanning the published ranges.  ``use_runtime`` routes
     each cell's evaluation through the event-driven runtime (identical
-    spike trains, faster evaluation).
+    spike trains, faster evaluation).  ``workers`` and ``cache`` are
+    forwarded to :func:`repro.exec.run_experiments`, which trains grid
+    cells across a process pool and serves unchanged cells from the
+    experiment cache.
     """
+    from repro.exec import run_experiments
+
     betas = [float(b) for b in (betas if betas is not None else PAPER_BETA_GRID)]
     thetas = [float(t) for t in (thetas if thetas is not None else PAPER_THETA_GRID)]
     repro_scale = resolve_scale(scale_preset)
@@ -153,17 +160,24 @@ def run_beta_theta_sweep(
     elif scale_preset is not None:
         base_config = base_config.with_overrides(scale=repro_scale)
 
-    records: Dict[Tuple[float, float], ExperimentRecord] = {}
-    for beta in betas:
-        for theta in thetas:
-            config = base_config.with_overrides(
-                beta=beta,
-                threshold=theta,
-                label=f"beta={beta:g}, theta={theta:g}",
-            )
-            records[(beta, theta)] = run_experiment(
-                config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime
-            )
+    cells = [(beta, theta) for beta in betas for theta in thetas]
+    configs = [
+        base_config.with_overrides(
+            beta=beta,
+            threshold=theta,
+            label=f"beta={beta:g}, theta={theta:g}",
+        )
+        for beta, theta in cells
+    ]
+    flat = run_experiments(
+        configs,
+        workers=workers,
+        cache=cache,
+        accelerator=accelerator,
+        use_runtime=use_runtime,
+        verbose=verbose,
+    )
+    records: Dict[Tuple[float, float], ExperimentRecord] = dict(zip(cells, flat))
     return BetaThetaSweepResult(records=records, betas=betas, thetas=thetas)
 
 

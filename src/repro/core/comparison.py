@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 from repro.analysis.tables import format_table
 from repro.core.config import ExperimentConfig, PAPER_COMPARISON_POINT, PAPER_DEFAULT, resolve_scale
-from repro.core.experiment import ExperimentRecord, build_workload, run_experiment
+from repro.core.experiment import ExperimentRecord, build_workload
 from repro.hardware.accelerator import SparsityAwareAccelerator
 from repro.hardware.efficiency import HardwareReport, evaluate_on_hardware
 from repro.hardware.prior_work import PriorWorkAccelerator
@@ -66,6 +66,8 @@ def run_prior_work_comparison(
     default_config: Optional[ExperimentConfig] = None,
     scale_preset: Optional[str] = None,
     verbose: bool = False,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> PriorWorkComparison:
     """Reproduce the paper's comparison against the prior-work accelerator.
 
@@ -73,7 +75,11 @@ def run_prior_work_comparison(
     sparsity-aware platform (as the "default" row) and on the prior-work
     accelerator model (as the comparison baseline).  The tuned model uses
     the paper's fine-tuned point (fast sigmoid, ``beta=0.7``, ``theta=1.5``).
+    Both trainings route through :func:`repro.exec.run_experiments`, so they
+    can run in parallel (``workers=2``) and reuse cached records.
     """
+    from repro.exec import run_experiments
+
     repro_scale = resolve_scale(scale_preset)
     tuned_config = (tuned_config or PAPER_COMPARISON_POINT).with_overrides(scale=repro_scale)
     default_config = (default_config or PAPER_DEFAULT).with_overrides(scale=repro_scale)
@@ -81,8 +87,13 @@ def run_prior_work_comparison(
     paper_platform = SparsityAwareAccelerator()
     prior_platform = PriorWorkAccelerator()
 
-    tuned = run_experiment(tuned_config, accelerator=paper_platform, verbose=verbose)
-    default = run_experiment(default_config, accelerator=paper_platform, verbose=verbose)
+    tuned, default = run_experiments(
+        [tuned_config, default_config],
+        workers=workers,
+        cache=cache,
+        accelerator=paper_platform,
+        verbose=verbose,
+    )
 
     # Same default model, mapped onto the prior-work accelerator.
     default_workload = build_workload_from_record(default)

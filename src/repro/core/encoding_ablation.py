@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.core.config import ExperimentConfig, resolve_scale
-from repro.core.experiment import ExperimentRecord, run_experiment
+from repro.core.experiment import ExperimentRecord
 from repro.hardware.accelerator import SparsityAwareAccelerator
 
 #: Encoders compared by the ablation.
@@ -57,8 +57,18 @@ def run_encoding_ablation(
     scale_preset: Optional[str] = None,
     accelerator: Optional[SparsityAwareAccelerator] = None,
     verbose: bool = False,
+    use_runtime: bool = True,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> EncodingAblationResult:
-    """Train the same configuration under several input encoders."""
+    """Train the same configuration under several input encoders.
+
+    ``workers`` and ``cache`` are forwarded to
+    :func:`repro.exec.run_experiments` (process-pool parallelism and the
+    experiment result cache).
+    """
+    from repro.exec import run_experiments
+
     encoders = list(encoders) if encoders is not None else list(DEFAULT_ENCODERS)
     repro_scale = resolve_scale(scale_preset)
     if base_config is None:
@@ -66,8 +76,16 @@ def run_encoding_ablation(
     elif scale_preset is not None:
         base_config = base_config.with_overrides(scale=repro_scale)
 
-    records: Dict[str, ExperimentRecord] = {}
-    for encoder in encoders:
-        config = base_config.with_overrides(encoder=encoder, label=f"encoder={encoder}")
-        records[encoder] = run_experiment(config, accelerator=accelerator, verbose=verbose)
-    return EncodingAblationResult(records=records)
+    configs = [
+        base_config.with_overrides(encoder=encoder, label=f"encoder={encoder}")
+        for encoder in encoders
+    ]
+    flat = run_experiments(
+        configs,
+        workers=workers,
+        cache=cache,
+        accelerator=accelerator,
+        use_runtime=use_runtime,
+        verbose=verbose,
+    )
+    return EncodingAblationResult(records=dict(zip(encoders, flat)))

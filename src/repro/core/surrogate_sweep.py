@@ -17,7 +17,7 @@ import numpy as np
 from repro.analysis.plots import ascii_line_plot
 from repro.analysis.tables import format_table
 from repro.core.config import ExperimentConfig, ReproScale, resolve_scale
-from repro.core.experiment import ExperimentRecord, run_experiment
+from repro.core.experiment import ExperimentRecord
 from repro.hardware.accelerator import SparsityAwareAccelerator
 from repro.hardware.prior_work import PRIOR_WORK_REFERENCE
 
@@ -101,6 +101,8 @@ def run_surrogate_sweep(
     accelerator: Optional[SparsityAwareAccelerator] = None,
     verbose: bool = False,
     use_runtime: bool = True,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> SurrogateSweepResult:
     """Run the Figure 1 sweep.
 
@@ -119,7 +121,13 @@ def run_surrogate_sweep(
     use_runtime:
         Profile each trained model through the event-driven runtime
         (identical spike trains, faster evaluation).
+    workers, cache:
+        Forwarded to :func:`repro.exec.run_experiments`: the process-pool
+        size (default serial) and the experiment result cache (default
+        disabled; pass ``True``, a path, or an ``ExperimentCache``).
     """
+    from repro.exec import run_experiments
+
     scales = list(scales) if scales is not None else list(PAPER_SCALE_SWEEP)
     surrogates = list(surrogates) if surrogates is not None else list(PAPER_SURROGATES)
     repro_scale = resolve_scale(scale_preset)
@@ -128,17 +136,26 @@ def run_surrogate_sweep(
     elif scale_preset is not None:
         base_config = base_config.with_overrides(scale=repro_scale)
 
+    configs = [
+        base_config.with_overrides(
+            surrogate=surrogate,
+            surrogate_scale=float(value),
+            label=f"{surrogate}(scale={value:g})",
+        )
+        for surrogate in surrogates
+        for value in scales
+    ]
+    flat = run_experiments(
+        configs,
+        workers=workers,
+        cache=cache,
+        accelerator=accelerator,
+        use_runtime=use_runtime,
+        verbose=verbose,
+    )
     records: Dict[str, List[ExperimentRecord]] = {}
-    for surrogate in surrogates:
-        records[surrogate] = []
-        for value in scales:
-            config = base_config.with_overrides(
-                surrogate=surrogate,
-                surrogate_scale=float(value),
-                label=f"{surrogate}(scale={value:g})",
-            )
-            record = run_experiment(config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime)
-            records[surrogate].append(record)
+    for pos, surrogate in enumerate(surrogates):
+        records[surrogate] = flat[pos * len(scales) : (pos + 1) * len(scales)]
     return SurrogateSweepResult(records=records, scales=[float(s) for s in scales])
 
 

@@ -1,0 +1,267 @@
+"""Content-addressed on-disk cache for experiment records.
+
+A sweep cell is fully determined by its resolved
+:class:`~repro.core.config.ExperimentConfig` (every RNG in the pipeline —
+dataset synthesis, train/test split, weight init, encoders, batch shuffling —
+is seeded from config fields), the accelerator model it is evaluated on, and
+the code that trains it.  The cache key is therefore a SHA-256 digest over:
+
+* the full config as a nested dict (including the :class:`ReproScale`),
+* a fingerprint of the accelerator (class name + its dataclass config),
+* evaluation routing flags (``use_runtime``),
+* code-relevant versions: the package version, NumPy's version, the cache
+  schema version, and :data:`TRAINING_CODE_VERSION` — a marker that must be
+  bumped whenever a change alters training numerics (optimizer math, LIF
+  step semantics, loss definitions, ...), which invalidates every cached
+  record at once.
+
+Records are stored as pickles (they are plain dataclass trees) next to a
+small JSON sidecar holding the hashed payload, so a cache directory can be
+audited without unpickling anything.
+
+Layout::
+
+    <root>/<key[:2]>/<key>.pkl    # pickled ExperimentRecord
+    <root>/<key[:2]>/<key>.json   # human-readable key payload
+
+The default root is ``.repro_cache/experiments`` under the current working
+directory, overridable with the ``REPRO_CACHE_DIR`` environment variable or
+the ``root`` argument.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ExperimentConfig
+    from repro.core.experiment import ExperimentRecord
+
+#: Bump when the on-disk layout or key payload structure changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Bump whenever a code change alters training/evaluation numerics, so that
+#: stale records can never be served for results the current code would not
+#: reproduce.  The suffix names the change that last required a bump.
+TRAINING_CODE_VERSION = "2-fused-lif-inplace-adam"
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a value into something ``json.dumps`` renders deterministically.
+
+    Arrays are rendered as a shape/dtype/content digest (their repr elides
+    elements, which could make distinct values collide); anything else
+    unrecognised falls back to ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return {
+            "ndarray": {
+                "shape": list(value.shape),
+                "dtype": str(value.dtype),
+                "sha256": hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+            }
+        }
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _accelerator_fingerprint(accelerator: Any) -> Optional[Dict[str, Any]]:
+    """Stable description of the hardware model a record was evaluated on.
+
+    Covers every public attribute (for the repo's accelerators these are all
+    dataclasses: config, power/cost/latency models, mapping config), so a
+    differently-calibrated platform never collides with a cached record.  An
+    exotic attribute whose repr is not stable merely makes the key unstable
+    — a cache miss and a retrain, never a stale hit.
+    """
+    if accelerator is None:
+        return None
+    fingerprint: Dict[str, Any] = {"class": type(accelerator).__name__}
+    attrs = {
+        name: _jsonable(value)
+        for name, value in sorted(vars(accelerator).items())
+        if not name.startswith("_")
+    }
+    if attrs:
+        fingerprint["attrs"] = attrs
+    return fingerprint
+
+
+def _key_payload(
+    config: "ExperimentConfig",
+    accelerator: Any = None,
+    use_runtime: bool = True,
+) -> Dict[str, Any]:
+    """Everything the cache key covers — hashed by :func:`experiment_cache_key`
+    and written verbatim (pretty-printed) as the audit sidecar."""
+    import repro
+
+    config_dict = _jsonable(config)
+    # The label is a cosmetic report string with no effect on training, and
+    # different sweeps label identical hyperparameters differently (e.g. the
+    # Figure 2 grid cell "beta=0.7, theta=1.5" vs the comparison's
+    # "beta=0.7, theta=1.5 (vs prior work)").  Excluding it lets those
+    # sweeps share cached trainings; the executor re-labels served records.
+    config_dict.pop("label", None)
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": TRAINING_CODE_VERSION,
+        "repro_version": repro.__version__,
+        "numpy_version": np.__version__,
+        "config": config_dict,
+        "accelerator": _accelerator_fingerprint(accelerator),
+        "use_runtime": bool(use_runtime),
+    }
+
+
+def experiment_cache_key(
+    config: "ExperimentConfig",
+    accelerator: Any = None,
+    use_runtime: bool = True,
+) -> str:
+    """SHA-256 content key for one experiment cell (see module docstring)."""
+    payload = _key_payload(config, accelerator=accelerator, use_runtime=use_runtime)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def key_payload_json(
+    config: "ExperimentConfig",
+    accelerator: Any = None,
+    use_runtime: bool = True,
+) -> str:
+    """The pretty-printed key payload, written as the sidecar for auditing."""
+    payload = _key_payload(config, accelerator=accelerator, use_runtime=use_runtime)
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+class ExperimentCache:
+    """Content-addressed store of :class:`ExperimentRecord` pickles.
+
+    Parameters
+    ----------
+    root:
+        Cache directory.  Defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro_cache/experiments`` under the current working directory.
+
+    Attributes
+    ----------
+    hits, misses, stores:
+        Running counters for this cache instance (used by benchmarks and the
+        warm-rerun acceptance test: a fully warm sweep re-run must report
+        ``misses == 0``).
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or Path(".repro_cache") / "experiments"
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ #
+    def key(self, config: "ExperimentConfig", accelerator: Any = None, use_runtime: bool = True) -> str:
+        return experiment_cache_key(config, accelerator=accelerator, use_runtime=use_runtime)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------ #
+    def load(self, key: str) -> Optional["ExperimentRecord"]:
+        """Return the cached record for ``key``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss (it will be
+        re-trained and overwritten) rather than failing the sweep.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(
+        self,
+        key: str,
+        record: "ExperimentRecord",
+        accelerator: Any = None,
+        use_runtime: bool = True,
+    ) -> Path:
+        """Persist one record under its content key (atomic rename).
+
+        The temp file gets a unique name so concurrent sweeps sharing a
+        cache directory can both store the same key: last writer wins via
+        ``os.replace``, and neither can corrupt the published pickle.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f"{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        sidecar = path.with_suffix(".json")
+        sidecar.write_text(
+            key_payload_json(record.config, accelerator=accelerator, use_runtime=use_runtime)
+        )
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many records were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            sidecar = path.with_suffix(".json")
+            path.unlink(missing_ok=True)
+            sidecar.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExperimentCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

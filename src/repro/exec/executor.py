@@ -1,0 +1,269 @@
+"""Parallel experiment executor with caching and structured progress.
+
+:func:`run_experiments` is the single entry point every sweep routes
+through.  It takes an ordered list of configurations, satisfies as many as
+possible from the :class:`~repro.exec.cache.ExperimentCache`, then runs the
+remaining cells either serially or across a ``fork``-based process pool.
+
+Determinism
+-----------
+``run_experiment`` derives every random stream from config fields, so a cell
+computes the same record no matter which process runs it, in what order.
+As belt and braces against any stray use of NumPy's *global* RNG, the worker
+additionally reseeds ``np.random`` per cell from a hash of the config — the
+serial path runs the exact same wrapper, which is what makes parallel
+results bit-for-bit identical to serial ones (asserted by
+``tests/test_exec_executor.py`` and the sweep benchmark).
+
+Progress
+--------
+Each cell emits structured :class:`ProgressEvent` values (``start`` /
+``done`` / ``cached`` / ``error``) to an optional callback; ``verbose=True``
+installs a stdout printer.  Events always carry ``index``/``total``/``label``
+so callers can render progress bars without parsing strings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import ExperimentRecord, run_experiment
+from repro.exec.cache import ExperimentCache, experiment_cache_key
+
+ProgressCallback = Callable[["ProgressEvent"], None]
+CacheSpec = Union[None, bool, str, "os.PathLike[str]", ExperimentCache]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress notification from the executor.
+
+    Attributes
+    ----------
+    kind:
+        ``"start"`` (cell dispatched), ``"done"`` (cell trained),
+        ``"cached"`` (cell served from the result cache) or ``"error"``.
+    index, total:
+        Position of the cell in the submitted config list.
+    label:
+        The config's human-readable label (``config.describe()``).
+    seconds:
+        Wall-clock seconds the cell took (0 for ``start``/``cached``).
+    error:
+        Stringified exception for ``kind == "error"``.
+    """
+
+    kind: str
+    index: int
+    total: int
+    label: str
+    seconds: float = 0.0
+    error: str = ""
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    """Default stdout reporter installed by ``verbose=True``."""
+    prefix = f"[sweep {event.index + 1}/{event.total}]"
+    if event.kind == "start":
+        print(f"{prefix} training {event.label}")
+    elif event.kind == "cached":
+        print(f"{prefix} cache hit for {event.label}")
+    elif event.kind == "done":
+        print(f"{prefix} finished {event.label} in {event.seconds:.1f}s")
+    else:
+        print(f"{prefix} FAILED {event.label}: {event.error}")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the worker count: argument, then ``REPRO_SWEEP_WORKERS``, then 1.
+
+    A malformed or empty env value falls back to serial rather than failing
+    a sweep that never asked for parallelism.
+    """
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+def resolve_cache(cache: CacheSpec) -> Optional[ExperimentCache]:
+    """Normalise the ``cache=`` argument accepted by every sweep front-end.
+
+    ``None``/``False`` disable caching, ``True`` uses the default cache
+    location, a path opens a cache rooted there, and an
+    :class:`ExperimentCache` instance is used as-is.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ExperimentCache()
+    if isinstance(cache, ExperimentCache):
+        return cache
+    return ExperimentCache(cache)
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _config_seed(config: ExperimentConfig) -> int:
+    """Deterministic 32-bit seed for the worker's global RNG, per config."""
+    key = experiment_cache_key(config)
+    return int(key[:8], 16)
+
+
+class _CellFailure:
+    """A cell's exception, carried back from the worker with its index intact.
+
+    The formatted traceback travels as a string: pickling strips
+    ``__traceback__``, so the worker's stack would otherwise be lost on the
+    way back to the parent.
+    """
+
+    __slots__ = ("exception", "traceback")
+
+    def __init__(self, exception: BaseException, formatted_traceback: str) -> None:
+        self.exception = exception
+        self.traceback = formatted_traceback
+
+
+def _run_cell(payload: Tuple[int, ExperimentConfig, Any, bool, bool]):
+    """Train one cell; shared by the serial path and every pool worker.
+
+    Returns ``(index, record_or_failure, seconds)`` — failures are wrapped
+    rather than raised so the parent can attribute the error to the right
+    cell even with ``imap_unordered``.
+    """
+    index, config, accelerator, use_runtime, verbose = payload
+    np.random.seed(_config_seed(config))
+    start = time.perf_counter()
+    try:
+        record = run_experiment(config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime)
+    except Exception as exc:
+        return index, _CellFailure(exc, traceback.format_exc()), time.perf_counter() - start
+    return index, record, time.perf_counter() - start
+
+
+def run_experiments(
+    configs: Sequence[ExperimentConfig],
+    *,
+    workers: Optional[int] = None,
+    cache: CacheSpec = None,
+    accelerator: Any = None,
+    use_runtime: bool = True,
+    verbose: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ExperimentRecord]:
+    """Run every configuration and return records in submission order.
+
+    Parameters
+    ----------
+    configs:
+        The sweep cells, in the order results should be returned.
+    workers:
+        Process-pool size (default: ``REPRO_SWEEP_WORKERS`` or 1).  With one
+        worker, or on platforms without ``fork``, cells run serially in this
+        process; results are identical either way.
+    cache:
+        See :func:`resolve_cache`.  Hits skip training entirely; fresh
+        records are stored as soon as they complete, so an interrupted sweep
+        resumes from where it stopped.
+    accelerator:
+        Hardware platform model forwarded to ``run_experiment`` (part of the
+        cache key).
+    use_runtime:
+        Forwarded to ``run_experiment`` (part of the cache key).
+    verbose:
+        Print per-cell progress lines and per-epoch training logs.
+    progress:
+        Structured :class:`ProgressEvent` callback (overrides the default
+        printer; receives events regardless of ``verbose``).
+    """
+    configs = list(configs)
+    total = len(configs)
+    store = resolve_cache(cache)
+    reporter = progress if progress is not None else (_print_progress if verbose else None)
+
+    def emit(kind: str, index: int, seconds: float = 0.0, error: str = "") -> None:
+        if reporter is not None:
+            reporter(
+                ProgressEvent(
+                    kind=kind,
+                    index=index,
+                    total=total,
+                    label=configs[index].describe(),
+                    seconds=seconds,
+                    error=error,
+                )
+            )
+
+    results: List[Optional[ExperimentRecord]] = [None] * total
+    keys: List[Optional[str]] = [None] * total
+    pending: List[int] = []
+    for i, config in enumerate(configs):
+        if store is not None:
+            keys[i] = store.key(config, accelerator=accelerator, use_runtime=use_runtime)
+            record = store.load(keys[i])
+            if record is not None:
+                # The key deliberately ignores the cosmetic label, so a hit
+                # may come from a differently-labelled sweep; serve it under
+                # the label this caller asked for.
+                if record.config != config:
+                    record.config = config
+                results[i] = record
+                emit("cached", i)
+                continue
+        pending.append(i)
+
+    def finish(index: int, record: ExperimentRecord, seconds: float) -> None:
+        results[index] = record
+        if store is not None:
+            store.store(keys[index], record, accelerator=accelerator, use_runtime=use_runtime)
+        emit("done", index, seconds=seconds)
+
+    def settle(index: int, outcome, seconds: float) -> None:
+        """Record a completed cell or re-raise its failure with correct attribution."""
+        if isinstance(outcome, _CellFailure):
+            # The event carries the worker's full stack; the re-raised
+            # exception itself lost its traceback crossing the process
+            # boundary, so this is where the failure site is preserved.
+            emit("error", index, seconds=seconds, error=outcome.traceback)
+            raise outcome.exception
+        finish(index, outcome, seconds)
+
+    if pending:
+        payloads = [(i, configs[i], accelerator, use_runtime, verbose) for i in pending]
+        nworkers = min(resolve_workers(workers), len(pending))
+        if nworkers > 1 and fork_available():
+            for i in pending:
+                emit("start", i)
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=nworkers) as pool:
+                for index, outcome, seconds in pool.imap_unordered(_run_cell, payloads):
+                    settle(index, outcome, seconds)
+        else:
+            # _run_cell reseeds the global RNG per cell (the serial==parallel
+            # bit-identity guarantee); running in the caller's process, that
+            # must not clobber the caller's own np.random stream.
+            rng_state = np.random.get_state()
+            try:
+                for payload in payloads:
+                    emit("start", payload[0])
+                    settle(*_run_cell(payload))
+            finally:
+                np.random.set_state(rng_state)
+
+    # Every cell either came from the cache or completed above (failures
+    # raise), so the list is fully populated at this point.
+    return results  # type: ignore[return-value]

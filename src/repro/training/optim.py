@@ -1,8 +1,19 @@
-"""Gradient-descent optimizers."""
+"""Gradient-descent optimizers.
+
+Both optimizers keep their per-parameter state (momentum / moment buffers)
+in **index-keyed** lists that are allocated once, on the first step that sees
+a gradient, and updated **in place** afterwards.  Keying by parameter index
+rather than ``id(p)`` means the state meaningfully round-trips through
+:meth:`Optimizer.state_dict` / :meth:`Optimizer.load_state_dict` even when
+the parameters themselves are rebuilt (e.g. a model re-created from a
+checkpoint), and the in-place updates avoid re-allocating parameter-sized
+arrays on every training step — a measurable share of BPTT step time for
+the small tensors this engine works with.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +49,32 @@ class Optimizer:
             raise ValueError(f"learning rate must be non-negative, got {lr}")
         self.lr = float(lr)
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot of optimizer state (index-keyed)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        The optimizer must have been constructed over the same number of
+        parameters, in the same order, as the one that produced ``state``.
+        """
+        self.lr = float(state["lr"])
+
+    def _check_state_length(self, buffers: Sequence[Optional[np.ndarray]]) -> None:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state holds {len(buffers)} parameter slots, "
+                f"but this optimizer has {len(self.parameters)} parameters"
+            )
+
+    @staticmethod
+    def _copy_buffers(buffers: Sequence[Optional[np.ndarray]]) -> List[Optional[np.ndarray]]:
+        return [None if b is None else np.array(b, copy=True) for b in buffers]
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -56,27 +93,53 @@ class SGD(Optimizer):
             raise ValueError("weight_decay must be non-negative")
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
-        self._velocity: Dict[int, np.ndarray] = {}
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._buf: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        for p in self.parameters:
+        for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
+            buf = self._buf[i]
+            if buf is None:
+                buf = self._buf[i] = np.empty_like(p.data)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             if self.momentum:
-                vel = self._velocity.get(id(p))
-                vel = self.momentum * vel + grad if vel is not None else grad.copy()
-                self._velocity[id(p)] = vel
+                vel = self._velocity[i]
+                if vel is None:
+                    vel = self._velocity[i] = grad.copy()
+                else:
+                    np.multiply(vel, self.momentum, out=vel)
+                    vel += grad
                 update = vel
             else:
                 update = grad
-            p.data -= self.lr * update
+            np.multiply(update, self.lr, out=buf)
+            p.data -= buf
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["velocity"] = self._copy_buffers(self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._check_state_length(state["velocity"])
+        self._velocity = self._copy_buffers(state["velocity"])
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba), the de-facto choice for snnTorch models."""
+    """Adam optimizer (Kingma & Ba), the de-facto choice for snnTorch models.
+
+    Moment buffers are allocated once per parameter (on the first step that
+    sees a gradient for it) and updated in place on every later step; the
+    previous implementation allocated fresh zero buffers per parameter per
+    step just to service ``dict.get`` defaults.
+    """
 
     def __init__(
         self,
@@ -97,23 +160,67 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = float(beta1), float(beta2)
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._buf: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._wd_buf: List[Optional[np.ndarray]] = [None] * len(self.parameters)
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
-        for p in self.parameters:
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for i, p in enumerate(self.parameters):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            m = self._m.get(id(p), np.zeros_like(p.data))
-            v = self._v.get(id(p), np.zeros_like(p.data))
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * (grad * grad)
-            self._m[id(p)], self._v[id(p)] = m, v
-            m_hat = m / (1 - self.beta1 ** self._t)
-            v_hat = v / (1 - self.beta2 ** self._t)
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                # Decayed gradient in its own scratch: `grad` is read twice
+                # below (m and v updates) while `buf` is being overwritten.
+                wd_buf = self._wd_buf[i]
+                if wd_buf is None:
+                    wd_buf = self._wd_buf[i] = np.empty_like(p.data)
+                np.multiply(p.data, self.weight_decay, out=wd_buf)
+                wd_buf += grad
+                grad = wd_buf
+            m, v = self._m[i], self._v[i]
+            if m is None:
+                m = self._m[i] = np.zeros_like(p.data)
+                v = self._v[i] = np.zeros_like(p.data)
+            buf = self._buf[i]
+            if buf is None:
+                buf = self._buf[i] = np.empty_like(p.data)
+
+            # m = beta1 * m + (1 - beta1) * grad, in place.
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
+            # v = beta2 * v + (1 - beta2) * grad^2, in place.
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
+            v += buf
+            # p -= lr * (m / bias1) / (sqrt(v / bias2) + eps), via one scratch.
+            np.divide(v, bias2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= self.lr / bias1
+            p.data -= buf
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["t"] = self._t
+        state["m"] = self._copy_buffers(self._m)
+        state["v"] = self._copy_buffers(self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._check_state_length(state["m"])
+        self._check_state_length(state["v"])
+        self._t = int(state["t"])
+        self._m = self._copy_buffers(state["m"])
+        self._v = self._copy_buffers(state["v"])
+        self._buf = [None] * len(self.parameters)
+        self._wd_buf = [None] * len(self.parameters)

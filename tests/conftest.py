@@ -20,6 +20,28 @@ def smoke_config() -> ExperimentConfig:
     return ExperimentConfig(scale=SCALE_PRESETS["smoke"], seed=0)
 
 
+@pytest.fixture
+def micro_scale():
+    """Sub-smoke scale for tests that train several configurations.
+
+    The executor/cache tests run whole (tiny) sweeps repeatedly; at this
+    scale one end-to-end experiment takes a fraction of a second.
+    """
+    from repro.core.config import ReproScale
+
+    return ReproScale(
+        name="micro",
+        image_size=8,
+        conv_channels=(2, 2),
+        hidden_units=8,
+        num_steps=2,
+        train_samples=16,
+        test_samples=8,
+        epochs=1,
+        batch_size=8,
+    )
+
+
 def make_tensor(rng: np.random.Generator, *shape, requires_grad: bool = True, dtype=np.float64):
     """Create a float64 tensor with standard-normal data (for gradchecks)."""
     from repro.autograd import Tensor

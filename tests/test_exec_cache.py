@@ -1,0 +1,157 @@
+"""Content-addressed experiment cache: keys, storage, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExperimentConfig, SCALE_PRESETS
+from repro.exec.cache import ExperimentCache, experiment_cache_key
+from repro.hardware.accelerator import DenseBaselineAccelerator, SparsityAwareAccelerator
+
+
+@pytest.fixture
+def config() -> ExperimentConfig:
+    return ExperimentConfig(scale=SCALE_PRESETS["smoke"], seed=3)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, config):
+        assert experiment_cache_key(config) == experiment_cache_key(config)
+
+    def test_key_is_hex_sha256(self, config):
+        key = experiment_cache_key(config)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_equal_configs_share_a_key(self, config):
+        clone = ExperimentConfig(scale=SCALE_PRESETS["smoke"], seed=3)
+        assert experiment_cache_key(config) == experiment_cache_key(clone)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 4},
+            {"beta": 0.5},
+            {"threshold": 1.5},
+            {"surrogate": "arctan"},
+            {"surrogate_scale": 2.0},
+            {"encoder": "rate"},
+            {"learning_rate": 1e-3},
+            {"loss": "mse_count"},
+            {"scale": SCALE_PRESETS["bench"]},
+        ],
+    )
+    def test_any_config_field_invalidates(self, config, override):
+        changed = config.with_overrides(**override)
+        assert experiment_cache_key(config) != experiment_cache_key(changed)
+
+    def test_label_is_cosmetic_and_excluded_from_the_key(self, config):
+        """Identical trainings under different report labels share a cache cell."""
+        relabelled = config.with_overrides(label="same cell, different sweep")
+        assert experiment_cache_key(config) == experiment_cache_key(relabelled)
+
+    def test_use_runtime_flag_is_part_of_the_key(self, config):
+        assert experiment_cache_key(config, use_runtime=True) != experiment_cache_key(
+            config, use_runtime=False
+        )
+
+    def test_accelerator_is_part_of_the_key(self, config):
+        default = experiment_cache_key(config)
+        sparsity_aware = experiment_cache_key(config, accelerator=SparsityAwareAccelerator())
+        dense = experiment_cache_key(config, accelerator=DenseBaselineAccelerator())
+        assert default != sparsity_aware
+        assert sparsity_aware != dense
+
+    def test_accelerator_calibration_is_part_of_the_key(self, config):
+        """Same class + same config but a recalibrated power model must not collide."""
+        import dataclasses
+
+        from repro.hardware.power import PowerModel
+
+        stock = SparsityAwareAccelerator()
+        recalibrated = SparsityAwareAccelerator(
+            power_model=dataclasses.replace(PowerModel(), static_w_base=PowerModel().static_w_base * 2)
+        )
+        assert experiment_cache_key(config, accelerator=stock) != experiment_cache_key(
+            config, accelerator=recalibrated
+        )
+
+    def test_accelerator_fingerprint_is_stable_across_instances(self, config):
+        assert experiment_cache_key(config, accelerator=SparsityAwareAccelerator()) == (
+            experiment_cache_key(config, accelerator=SparsityAwareAccelerator())
+        )
+
+    def test_array_attributes_are_keyed_by_content_not_repr(self, config):
+        """Large arrays whose reprs elide identically must not collide."""
+        import numpy as np
+
+        a = SparsityAwareAccelerator()
+        b = SparsityAwareAccelerator()
+        # Simulate a future calibration-table attribute; reprs of both arrays
+        # elide the differing middle elements identically.
+        a.calibration = np.zeros(5000)
+        b.calibration = np.zeros(5000)
+        b.calibration[2500] = 1.0
+        assert repr(a.calibration) == repr(b.calibration)
+        assert experiment_cache_key(config, accelerator=a) != experiment_cache_key(
+            config, accelerator=b
+        )
+
+    def test_code_version_invalidates(self, config, monkeypatch):
+        import repro.exec.cache as cache_mod
+
+        before = experiment_cache_key(config)
+        monkeypatch.setattr(cache_mod, "TRAINING_CODE_VERSION", "next-training-change")
+        assert experiment_cache_key(config) != before
+
+
+class TestExperimentCacheStore:
+    def test_miss_then_store_then_hit(self, tmp_path, config):
+        cache = ExperimentCache(tmp_path)
+        key = cache.key(config)
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+        cache.store(key, _fake_record(config))
+        assert cache.contains(key)
+        assert len(cache) == 1
+
+        loaded = cache.load(key)
+        assert cache.hits == 1
+        assert loaded.config == config
+
+    def test_store_writes_auditable_sidecar(self, tmp_path, config):
+        cache = ExperimentCache(tmp_path)
+        key = cache.key(config)
+        path = cache.store(key, _fake_record(config))
+        sidecar = path.with_suffix(".json")
+        assert sidecar.exists()
+        text = sidecar.read_text()
+        assert '"seed": 3' in text
+        assert '"code"' in text
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path, config):
+        cache = ExperimentCache(tmp_path)
+        key = cache.key(config)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+    def test_clear_removes_everything(self, tmp_path, config):
+        cache = ExperimentCache(tmp_path)
+        cache.store(cache.key(config), _fake_record(config))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_env_var_controls_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ExperimentCache().root == tmp_path / "elsewhere"
+
+
+def _fake_record(config):
+    """A minimal stand-in record; store/load only needs ``.config`` + picklability."""
+    from types import SimpleNamespace
+
+    return SimpleNamespace(config=config)

@@ -1,0 +1,221 @@
+"""Sweep executor: parallel == serial, caching skips training, progress events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.exec import ExperimentCache, ProgressEvent, resolve_cache, resolve_workers, run_experiments
+from repro.exec import executor as executor_mod
+
+
+@pytest.fixture
+def micro_configs(micro_scale):
+    """Three distinct sweep cells at the sub-smoke scale."""
+    return [
+        ExperimentConfig(scale=micro_scale, seed=0, beta=0.25),
+        ExperimentConfig(scale=micro_scale, seed=1, beta=0.5),
+        ExperimentConfig(scale=micro_scale, seed=2, threshold=1.5),
+    ]
+
+
+def _assert_records_identical(a, b):
+    """Bit-for-bit comparison of two experiment records (modulo wall-clock)."""
+    assert a.config == b.config
+    assert a.accuracy == b.accuracy
+    for key, series in a.training.history.items():
+        if key.endswith("seconds"):  # wall-clock measurements are not deterministic
+            continue
+        assert series == b.training.history[key], key
+    assert a.hardware.as_dict() == b.hardware.as_dict()
+    assert a.sparsity_profile.layer_events_per_step == b.sparsity_profile.layer_events_per_step
+
+
+class TestParallelMatchesSerial:
+    def test_two_workers_bitwise_identical_to_serial(self, micro_configs):
+        serial = run_experiments(micro_configs, workers=1)
+        parallel = run_experiments(micro_configs, workers=2)
+        assert len(serial) == len(parallel) == len(micro_configs)
+        for a, b in zip(serial, parallel):
+            _assert_records_identical(a, b)
+
+    def test_results_follow_submission_order(self, micro_configs):
+        records = run_experiments(micro_configs, workers=2)
+        for config, record in zip(micro_configs, records):
+            assert record.config == config
+
+    def test_serial_fallback_without_fork(self, micro_configs, monkeypatch):
+        monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
+        records = run_experiments(micro_configs[:2], workers=4)
+        for a, b in zip(records, run_experiments(micro_configs[:2], workers=1)):
+            _assert_records_identical(a, b)
+
+
+class TestCachingBehaviour:
+    def test_warm_rerun_performs_zero_trainings(self, micro_configs, tmp_path, monkeypatch):
+        cache = ExperimentCache(tmp_path)
+        cold = run_experiments(micro_configs, workers=1, cache=cache)
+        assert cache.misses == len(micro_configs)
+        assert cache.stores == len(micro_configs)
+
+        # Any attempt to train on the warm re-run is a hard failure.
+        def _no_training(*args, **kwargs):
+            raise AssertionError("warm cache re-run must not train")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _no_training)
+        warm = run_experiments(micro_configs, workers=2, cache=cache)
+        assert cache.hits == len(micro_configs)
+        for a, b in zip(cold, warm):
+            _assert_records_identical(a, b)
+
+    def test_extending_a_sweep_trains_only_new_cells(self, micro_configs, tmp_path, micro_scale):
+        cache = ExperimentCache(tmp_path)
+        run_experiments(micro_configs[:2], workers=1, cache=cache)
+        assert cache.stores == 2
+
+        extended = micro_configs + [ExperimentConfig(scale=micro_scale, seed=9)]
+        run_experiments(extended, workers=1, cache=cache)
+        # Two hits (already trained), two fresh trainings (seed=2 cell + new one).
+        assert cache.hits == 2
+        assert cache.stores == 4
+
+    def test_hit_from_another_sweeps_label_is_served_relabelled(
+        self, micro_scale, tmp_path, monkeypatch
+    ):
+        """Label-insensitive keys reuse trainings across sweeps, under the caller's label."""
+        cache = ExperimentCache(tmp_path)
+        trained = ExperimentConfig(scale=micro_scale, beta=0.7, label="beta=0.7 (figure 2 cell)")
+        run_experiments([trained], workers=1, cache=cache)
+
+        def _no_training(*args, **kwargs):
+            raise AssertionError("identical hyperparameters must hit the cache")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _no_training)
+        asked = trained.with_overrides(label="beta=0.7 (vs prior work)")
+        (record,) = run_experiments([asked], workers=1, cache=cache)
+        assert cache.hits == 1
+        assert record.config == asked
+        assert record.config.label == "beta=0.7 (vs prior work)"
+
+    def test_cache_true_uses_default_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-loc"))
+        resolved = resolve_cache(True)
+        assert resolved.root == tmp_path / "default-loc"
+
+    def test_cache_path_accepted_directly(self, tmp_path):
+        resolved = resolve_cache(tmp_path / "direct")
+        assert isinstance(resolved, ExperimentCache)
+        assert resolved.root == tmp_path / "direct"
+
+    def test_cache_disabled_by_default(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+
+class TestProgressAndWorkers:
+    def test_progress_events_cover_every_cell(self, micro_configs, tmp_path):
+        events = []
+        cache = ExperimentCache(tmp_path)
+        run_experiments(micro_configs, workers=1, cache=cache, progress=events.append)
+        kinds = [e.kind for e in events]
+        assert kinds.count("start") == len(micro_configs)
+        assert kinds.count("done") == len(micro_configs)
+        assert all(isinstance(e, ProgressEvent) and e.total == len(micro_configs) for e in events)
+
+        events.clear()
+        run_experiments(micro_configs, workers=1, cache=cache, progress=events.append)
+        assert [e.kind for e in events] == ["cached"] * len(micro_configs)
+        assert {e.index for e in events} == {0, 1, 2}
+
+    def test_serial_run_preserves_callers_global_rng_stream(self, micro_configs):
+        np.random.seed(1234)
+        expected = np.random.standard_normal(4)
+        np.random.seed(1234)
+        run_experiments(micro_configs[:1], workers=1)
+        np.testing.assert_array_equal(np.random.standard_normal(4), expected)
+
+    def test_worker_resolution(self, monkeypatch):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS")
+        assert resolve_workers(None) == 1
+
+    @pytest.mark.parametrize("malformed", ["", "auto", "4.5"])
+    def test_malformed_workers_env_falls_back_to_serial(self, monkeypatch, malformed):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", malformed)
+        assert resolve_workers(None) == 1
+
+    def test_failures_propagate(self, micro_configs, monkeypatch):
+        def _boom(*args, **kwargs):
+            raise RuntimeError("cell exploded")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _boom)
+        events = []
+        with pytest.raises(RuntimeError, match="cell exploded"):
+            run_experiments(micro_configs[:1], workers=1, progress=events.append)
+        assert events[-1].kind == "error"
+
+    def test_pool_failure_reports_the_failing_cell(self, micro_configs, monkeypatch):
+        failing = micro_configs[1]
+
+        def _selective_boom(config, **kwargs):
+            raise RuntimeError(f"exploded on {config.describe()}")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _selective_boom)
+        events = []
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_experiments(micro_configs, workers=2, progress=events.append)
+        errors = [e for e in events if e.kind == "error"]
+        assert errors, "pool failure must emit an error event"
+        # The event must name the cell that actually failed and carry the
+        # worker's traceback (lost from the exception at the process boundary).
+        assert errors[0].label == micro_configs[errors[0].index].describe()
+        assert f"on {micro_configs[errors[0].index].describe()}" in errors[0].error
+        assert "Traceback" in errors[0].error
+
+
+class TestSweepFrontEnds:
+    """The four sweep entry points route through the executor."""
+
+    def test_beta_theta_sweep_parallel_equals_serial(self, micro_scale):
+        from repro.core.beta_theta_sweep import run_beta_theta_sweep
+
+        base = ExperimentConfig(scale=micro_scale, surrogate="fast_sigmoid", surrogate_scale=0.25)
+        grid = dict(betas=(0.25, 0.5), thetas=(1.0,), base_config=base)
+        serial = run_beta_theta_sweep(workers=1, **grid)
+        parallel = run_beta_theta_sweep(workers=2, **grid)
+        assert set(serial.records) == set(parallel.records)
+        for cell in serial.records:
+            _assert_records_identical(serial.records[cell], parallel.records[cell])
+
+    def test_surrogate_sweep_groups_records_correctly(self, micro_scale, tmp_path):
+        from repro.core.surrogate_sweep import run_surrogate_sweep
+
+        base = ExperimentConfig(scale=micro_scale)
+        result = run_surrogate_sweep(
+            scales=(0.5, 2.0), surrogates=("arctan", "fast_sigmoid"),
+            base_config=base, cache=ExperimentCache(tmp_path),
+        )
+        assert list(result.records) == ["arctan", "fast_sigmoid"]
+        for surrogate, records in result.records.items():
+            assert [r.config.surrogate for r in records] == [surrogate] * 2
+            assert [r.config.surrogate_scale for r in records] == [0.5, 2.0]
+
+    def test_encoding_ablation_routes_through_executor(self, micro_scale, tmp_path, monkeypatch):
+        from repro.core.encoding_ablation import run_encoding_ablation
+
+        base = ExperimentConfig(scale=micro_scale)
+        cache = ExperimentCache(tmp_path)
+        first = run_encoding_ablation(encoders=("direct", "rate"), base_config=base, cache=cache)
+        assert list(first.records) == ["direct", "rate"]
+
+        def _no_training(*args, **kwargs):
+            raise AssertionError("should be served from cache")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _no_training)
+        again = run_encoding_ablation(encoders=("direct", "rate"), base_config=base, cache=cache)
+        for name in ("direct", "rate"):
+            _assert_records_identical(first.records[name], again.records[name])

@@ -1,0 +1,178 @@
+"""Optimizer state: in-place moment buffers, index keying, checkpoint round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.training.optim import SGD, Adam
+
+
+def _params(rng, shapes=((4, 3), (3,))):
+    params = [Parameter(rng.standard_normal(s)) for s in shapes]
+    for p in params:
+        p.grad = rng.standard_normal(p.shape).astype(np.float32)
+    return params
+
+
+def _reference_adam(params, grads, lr, betas=(0.9, 0.999), eps=1e-8, steps=1):
+    """Textbook Adam trajectory on copies of the parameters."""
+    beta1, beta2 = betas
+    datas = [p.copy() for p in params]
+    ms = [np.zeros_like(p) for p in params]
+    vs = [np.zeros_like(p) for p in params]
+    for t in range(1, steps + 1):
+        for i, g in enumerate(grads):
+            ms[i] = beta1 * ms[i] + (1 - beta1) * g
+            vs[i] = beta2 * vs[i] + (1 - beta2) * g * g
+            m_hat = ms[i] / (1 - beta1 ** t)
+            v_hat = vs[i] / (1 - beta2 ** t)
+            datas[i] = datas[i] - lr * m_hat / (np.sqrt(v_hat) + eps)
+    return datas
+
+
+class TestAdamInPlace:
+    def test_matches_reference_trajectory(self, rng):
+        params = _params(rng)
+        grads = [p.grad.copy() for p in params]
+        reference = _reference_adam([p.data for p in params], grads, lr=0.05, steps=5)
+        opt = Adam(params, lr=0.05)
+        for _ in range(5):
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            opt.step()
+        for p, expected in zip(params, reference):
+            np.testing.assert_allclose(p.data, expected, rtol=1e-5, atol=1e-7)
+
+    def test_moment_buffers_allocated_once_and_updated_in_place(self, rng):
+        params = _params(rng)
+        opt = Adam(params, lr=0.01)
+        opt.step()
+        m_ids = [id(m) for m in opt._m]
+        v_ids = [id(v) for v in opt._v]
+        for _ in range(3):
+            for p in params:
+                p.grad = rng.standard_normal(p.shape).astype(np.float32)
+            opt.step()
+        assert [id(m) for m in opt._m] == m_ids
+        assert [id(v) for v in opt._v] == v_ids
+
+    def test_weight_decay_matches_reference_and_reuses_scratch(self, rng):
+        params = _params(rng, shapes=((4, 3),))
+        g = params[0].grad.copy()
+        decayed = g + 0.1 * params[0].data
+        expected = _reference_adam([params[0].data], [decayed], lr=0.05)[0]
+        opt = Adam(params, lr=0.05, weight_decay=0.1)
+        opt.step()
+        np.testing.assert_allclose(params[0].data, expected, rtol=1e-5, atol=1e-7)
+        wd_id = id(opt._wd_buf[0])
+        params[0].grad = rng.standard_normal((4, 3)).astype(np.float32)
+        opt.step()
+        assert id(opt._wd_buf[0]) == wd_id
+
+    def test_params_without_grad_get_no_state(self, rng):
+        params = _params(rng)
+        params[1].grad = None
+        opt = Adam(params, lr=0.01)
+        opt.step()
+        assert opt._m[0] is not None
+        assert opt._m[1] is None
+
+    def test_state_survives_checkpoint_roundtrip_with_fresh_parameters(self, rng):
+        """Index-keyed state must resume across a rebuilt (re-id'd) model."""
+        init = [rng.standard_normal((3, 2)).astype(np.float32), rng.standard_normal((2,)).astype(np.float32)]
+        grad_stream = [
+            [rng.standard_normal(a.shape).astype(np.float32) for a in init] for _ in range(6)
+        ]
+
+        def fresh_params():
+            return [Parameter(a.copy()) for a in init]
+
+        # Continuous run: 6 steps.
+        continuous = fresh_params()
+        opt = Adam(continuous, lr=0.02)
+        for grads in grad_stream:
+            for p, g in zip(continuous, grads):
+                p.grad = g.copy()
+            opt.step()
+
+        # Checkpointed run: 3 steps, save, rebuild everything, load, 3 more.
+        first_half = fresh_params()
+        opt_a = Adam(first_half, lr=0.02)
+        for grads in grad_stream[:3]:
+            for p, g in zip(first_half, grads):
+                p.grad = g.copy()
+            opt_a.step()
+        checkpoint = {"params": [p.data.copy() for p in first_half], "optim": opt_a.state_dict()}
+
+        resumed = [Parameter(a) for a in checkpoint["params"]]  # brand-new objects
+        opt_b = Adam(resumed, lr=0.02)
+        opt_b.load_state_dict(checkpoint["optim"])
+        for grads in grad_stream[3:]:
+            for p, g in zip(resumed, grads):
+                p.grad = g.copy()
+            opt_b.step()
+
+        for cont, res in zip(continuous, resumed):
+            np.testing.assert_array_equal(cont.data, res.data)
+
+    def test_loaded_state_is_a_copy(self, rng):
+        params = _params(rng)
+        opt = Adam(params, lr=0.01)
+        opt.step()
+        state = opt.state_dict()
+        opt.step()  # mutates live buffers in place
+        other = Adam(_params(rng), lr=0.01)
+        other.load_state_dict(state)
+        assert other._t == 1
+        for live, loaded in zip(opt._m, other._m):
+            assert live is not loaded
+
+    def test_state_length_mismatch_rejected(self, rng):
+        opt = Adam(_params(rng), lr=0.01)
+        opt.step()
+        small = Adam([Parameter(np.ones((2, 2)))], lr=0.01)
+        with pytest.raises(ValueError, match="parameter"):
+            small.load_state_dict(opt.state_dict())
+
+
+class TestSGDInPlace:
+    def test_momentum_matches_reference(self, rng):
+        params = _params(rng, shapes=((5,),))
+        grads = [rng.standard_normal((5,)).astype(np.float32) for _ in range(4)]
+        data = params[0].data.copy()
+        vel = None
+        for g in grads:
+            vel = g.copy() if vel is None else 0.9 * vel + g
+            data = data - 0.1 * vel
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        for g in grads:
+            params[0].grad = g.copy()
+            opt.step()
+        np.testing.assert_allclose(params[0].data, data, rtol=1e-6, atol=1e-7)
+
+    def test_velocity_buffer_reused(self, rng):
+        params = _params(rng, shapes=((5,),))
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        opt.step()
+        vel_id = id(opt._velocity[0])
+        params[0].grad = rng.standard_normal((5,)).astype(np.float32)
+        opt.step()
+        assert id(opt._velocity[0]) == vel_id
+
+    def test_weight_decay_matches_reference(self, rng):
+        params = _params(rng, shapes=((4,),))
+        g = params[0].grad.copy()
+        expected = params[0].data - 0.1 * (g + 0.5 * params[0].data)
+        SGD(params, lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(params[0].data, expected, rtol=1e-6)
+
+    def test_state_roundtrip(self, rng):
+        params = _params(rng, shapes=((3,),))
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        opt.step()
+        state = opt.state_dict()
+        fresh = SGD([Parameter(np.zeros(3))], lr=0.1, momentum=0.9)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh._velocity[0], opt._velocity[0])
