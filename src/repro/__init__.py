@@ -17,7 +17,10 @@ with the paper's methodology on top:
   reports feeding the hardware models).
 * :mod:`repro.exec` — sweep execution subsystem: process-pool parallel
   experiment runner with deterministic seeding, structured progress, and a
-  content-addressed on-disk result cache.
+  content-addressed on-disk result cache (CLI: ``python -m repro.exec``).
+* :mod:`repro.serve` — micro-batched inference serving: model registry with
+  single-file checkpoints, request-coalescing scheduler over the runtime,
+  and live telemetry reporting measured vs modeled hardware performance.
 * :mod:`repro.hardware` — behavioural model of the sparsity-aware FPGA
   accelerator (latency, resources, power, FPS/W) plus baselines.
 * :mod:`repro.core` — the paper's experiments: the 32C3-MP2-32C3-MP2-256-10
@@ -37,7 +40,7 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from repro import analysis, autograd, core, data, encoding, exec, hardware, neurons, nn, surrogate, training
+from repro import analysis, autograd, core, data, encoding, exec, hardware, neurons, nn, serve, surrogate, training
 
 # NOTE: repro.exec (the sweep executor, imported above) is deliberately NOT
 # in __all__ — `from repro import *` must never rebind the exec() builtin.
@@ -51,6 +54,7 @@ __all__ = [
     "training",
     "data",
     "hardware",
+    "serve",
     "core",
     "analysis",
 ]

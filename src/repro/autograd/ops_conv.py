@@ -140,29 +140,45 @@ class Conv2d(Function):
 
 
 class MaxPool2d(Function):
-    """Non-overlapping max pooling (kernel == stride), as used in the paper."""
+    """Non-overlapping max pooling (kernel == stride), as used in the paper.
+
+    The backward scatter routes each output gradient to the *first* maximum
+    in its window (row-major scan order, matching PyTorch's argmax
+    convention).  On tie-free inputs the gradient is identical to the old
+    tie-splitting mask; on ties — ubiquitous for binary spike maps, where
+    every firing pixel in a window holds the same 1.0 — the whole gradient
+    now goes to one winner instead of being divided among the tied maxima.
+    The argmax-index mask is one uint8 index per *output* element, replacing
+    a float mask plus a sum/divide over the full *input*, which made mask
+    construction cost more than the max itself.
+    """
 
     @staticmethod
     def forward(ctx: Context, x: np.ndarray, kernel: int = 2) -> np.ndarray:
         n, c, h, w = x.shape
         oh, ow = h // kernel, w // kernel
         trimmed = x[:, :, : oh * kernel, : ow * kernel]
-        windows = trimmed.reshape(n, c, oh, kernel, ow, kernel)
-        out = windows.max(axis=(3, 5))
-        # Mask of max positions for the backward scatter (ties split evenly).
-        expanded = out[:, :, :, None, :, None]
-        mask = (windows == expanded).astype(x.dtype)
-        mask /= np.maximum(mask.sum(axis=(3, 5), keepdims=True), 1.0)
-        ctx.save_for_backward(mask, x.shape, kernel)
+        windows = trimmed.reshape(n, c, oh, kernel, ow, kernel).transpose(0, 1, 2, 4, 3, 5)
+        flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+        idx = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        idx_dtype = np.uint8 if kernel * kernel <= 255 else np.intp
+        ctx.save_for_backward(idx.astype(idx_dtype, copy=False), x.shape, kernel)
         return out
 
     @staticmethod
     def backward(ctx: Context, grad_output: np.ndarray):
-        mask, x_shape, kernel = ctx.saved
+        idx, x_shape, kernel = ctx.saved
         n, c, h, w = x_shape
         oh, ow = h // kernel, w // kernel
-        go = np.asarray(grad_output)[:, :, :, None, :, None]
-        grad_trimmed = (mask * go).reshape(n, c, oh * kernel, ow * kernel)
+        go = np.asarray(grad_output)
+        flat = np.zeros((n, c, oh, ow, kernel * kernel), dtype=go.dtype)
+        np.put_along_axis(flat, idx[..., None].astype(np.intp, copy=False), go[..., None], axis=-1)
+        grad_trimmed = (
+            flat.reshape(n, c, oh, ow, kernel, kernel)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, oh * kernel, ow * kernel)
+        )
         if oh * kernel == h and ow * kernel == w:
             return grad_trimmed, None
         grad = np.zeros(x_shape, dtype=grad_trimmed.dtype)

@@ -207,6 +207,28 @@ def evaluate_trained_model(
     return profile, report
 
 
+def train_model(
+    config: ExperimentConfig,
+    verbose: bool = False,
+) -> Tuple[SpikingCNN, Encoder, DataLoader, TrainingResult]:
+    """Train the configured model; returns ``(model, encoder, test_loader, training)``.
+
+    The training half of :func:`run_experiment`, exposed separately so
+    callers that need the *live trained model* — checkpoint export, the
+    serving registry (:func:`repro.serve.train_and_register`) — can reuse
+    the exact sweep recipe (Adam + cosine annealing over the configured
+    epochs) instead of re-implementing it.
+    """
+    train_loader, test_loader = make_dataset(config)
+    encoder = make_encoder(config)
+    model = make_model(config)
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    scheduler = CosineAnnealingLR(optimizer, t_max=config.scale.epochs)
+    trainer = Trainer(model, encoder, optimizer, loss_fn=make_loss(config), scheduler=scheduler)
+    training = trainer.fit(train_loader, val_loader=test_loader, epochs=config.scale.epochs, verbose=verbose)
+    return model, encoder, test_loader, training
+
+
 def run_experiment(
     config: ExperimentConfig,
     accelerator: Optional[SparsityAwareAccelerator] = None,
@@ -220,13 +242,7 @@ def run_experiment(
     measure test accuracy, profile firing rates (through the event-driven
     runtime by default), and run the hardware model.
     """
-    train_loader, test_loader = make_dataset(config)
-    encoder = make_encoder(config)
-    model = make_model(config)
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
-    scheduler = CosineAnnealingLR(optimizer, t_max=config.scale.epochs)
-    trainer = Trainer(model, encoder, optimizer, loss_fn=make_loss(config), scheduler=scheduler)
-    training = trainer.fit(train_loader, val_loader=test_loader, epochs=config.scale.epochs, verbose=verbose)
+    model, encoder, test_loader, training = train_model(config, verbose=verbose)
     accuracy = training.final_val_accuracy
     profile, hardware = evaluate_trained_model(
         model, encoder, test_loader, accelerator=accelerator, accuracy=accuracy, use_runtime=use_runtime

@@ -25,10 +25,19 @@ class Encoder:
 
     name = "encoder"
 
+    #: Whether :meth:`encode` draws from the private RNG stream.  Consumers
+    #: that need submission-order determinism (the serving scheduler) only
+    #: serialise calls to stochastic encoders.
+    stochastic = False
+
     def __init__(self, num_steps: int = 10, seed: Optional[int] = None) -> None:
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
         self.num_steps = int(num_steps)
+        # Retained so checkpoints can reconstruct the encoder (the generator
+        # itself does not expose its seed); a restored encoder restarts the
+        # stochastic stream from this seed, not from the saved mid-state.
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def encode(self, x: np.ndarray) -> np.ndarray:

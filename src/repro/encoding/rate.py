@@ -28,6 +28,7 @@ class RateEncoder(Encoder):
     """
 
     name = "rate"
+    stochastic = True
 
     def __init__(self, num_steps: int = 10, gain: float = 1.0, seed: Optional[int] = None) -> None:
         super().__init__(num_steps=num_steps, seed=seed)

@@ -24,10 +24,12 @@ and expose its ``workers=`` / ``cache=`` knobs.
 from repro.exec.cache import (
     CACHE_SCHEMA_VERSION,
     TRAINING_CODE_VERSION,
+    CacheEntry,
     ExperimentCache,
     experiment_cache_key,
 )
 from repro.exec.executor import (
+    CellExecutionError,
     ProgressEvent,
     resolve_cache,
     resolve_workers,
@@ -37,6 +39,8 @@ from repro.exec.executor import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "TRAINING_CODE_VERSION",
+    "CacheEntry",
+    "CellExecutionError",
     "ExperimentCache",
     "experiment_cache_key",
     "ProgressEvent",

@@ -37,11 +37,13 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 import numpy as np
+
+from repro.utils import atomic_write
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import ExperimentConfig
@@ -53,12 +55,55 @@ CACHE_SCHEMA_VERSION = 1
 #: Bump whenever a code change alters training/evaluation numerics, so that
 #: stale records can never be served for results the current code would not
 #: reproduce.  The suffix names the change that last required a bump.
-TRAINING_CODE_VERSION = "2-fused-lif-inplace-adam"
+TRAINING_CODE_VERSION = "3-maxpool-argmax-backward"
 
 PathLike = Union[str, Path]
 
 
-def _jsonable(value: Any) -> Any:
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored record as seen by the inspection/eviction machinery.
+
+    Attributes
+    ----------
+    key:
+        Full content key (the pickle's stem).
+    size_bytes:
+        Pickle plus sidecar size on disk.
+    last_used:
+        POSIX timestamp of the last store *or cache hit* (loads touch the
+        pickle's mtime, which is what makes the sweep LRU rather than FIFO).
+    summary:
+        Human-readable hyperparameter summary parsed from the JSON sidecar
+        (empty when the sidecar is missing or unreadable).
+    """
+
+    key: str
+    size_bytes: int
+    last_used: float
+    summary: str = ""
+
+
+def _summarise_sidecar(sidecar: Path) -> str:
+    """One-line config summary from a key-payload sidecar (best effort)."""
+    try:
+        payload = json.loads(sidecar.read_text())
+    except (OSError, ValueError):
+        return ""
+    config = payload.get("config", {})
+    if not isinstance(config, dict):
+        return ""
+    parts = []
+    for field_name in ("surrogate", "surrogate_scale", "beta", "threshold", "encoder"):
+        if field_name in config:
+            parts.append(f"{field_name}={config[field_name]}")
+    scale = config.get("scale")
+    if isinstance(scale, dict) and "name" in scale:
+        parts.append(f"scale={scale['name']}")
+    return " ".join(str(p) for p in parts)
+
+
+def jsonable(value: Any) -> Any:
     """Coerce a value into something ``json.dumps`` renders deterministically.
 
     Arrays are rendered as a shape/dtype/content digest (their repr elides
@@ -66,11 +111,11 @@ def _jsonable(value: Any) -> Any:
     unrecognised falls back to ``repr``.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+        return {k: jsonable(v) for k, v in dataclasses.asdict(value).items()}
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {str(k): jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [jsonable(v) for v in value]
     if isinstance(value, np.ndarray):
         return {
             "ndarray": {
@@ -99,7 +144,7 @@ def _accelerator_fingerprint(accelerator: Any) -> Optional[Dict[str, Any]]:
         return None
     fingerprint: Dict[str, Any] = {"class": type(accelerator).__name__}
     attrs = {
-        name: _jsonable(value)
+        name: jsonable(value)
         for name, value in sorted(vars(accelerator).items())
         if not name.startswith("_")
     }
@@ -117,7 +162,7 @@ def _key_payload(
     and written verbatim (pretty-printed) as the audit sidecar."""
     import repro
 
-    config_dict = _jsonable(config)
+    config_dict = jsonable(config)
     # The label is a cosmetic report string with no effect on training, and
     # different sweeps label identical hyperparameters differently (e.g. the
     # Figure 2 grid cell "beta=0.7, theta=1.5" vs the comparison's
@@ -208,6 +253,10 @@ class ExperimentCache:
         except Exception:
             self.misses += 1
             return None
+        # Touch the entry so the size-budget sweep evicts least-recently
+        # *used* records, not merely least-recently written ones.
+        with contextlib.suppress(OSError):
+            os.utime(path)
         self.hits += 1
         return record
 
@@ -220,27 +269,78 @@ class ExperimentCache:
     ) -> Path:
         """Persist one record under its content key (atomic rename).
 
-        The temp file gets a unique name so concurrent sweeps sharing a
-        cache directory can both store the same key: last writer wins via
-        ``os.replace``, and neither can corrupt the published pickle.
+        Both the pickle and its JSON audit sidecar are published with the
+        same unique-temp-file + ``os.replace`` pattern, so concurrent sweeps
+        sharing a cache directory can both store the same key (last writer
+        wins) and neither file can ever be observed half-written.
         """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f"{key[:8]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
-        sidecar = path.with_suffix(".json")
-        sidecar.write_text(
-            key_payload_json(record.config, accelerator=accelerator, use_runtime=use_runtime)
+        atomic_write(path, pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        atomic_write(
+            path.with_suffix(".json"),
+            key_payload_json(record.config, accelerator=accelerator, use_runtime=use_runtime).encode("utf-8"),
         )
         self.stores += 1
         return path
+
+    # ------------------------------------------------------------------ #
+    # Inspection and eviction
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[CacheEntry]:
+        """Every stored record, most recently used first."""
+        found: List[CacheEntry] = []
+        if not self.root.exists():
+            return found
+        for path in self.root.glob("*/*.pkl"):
+            sidecar = path.with_suffix(".json")
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # racing remover
+            size = stat.st_size
+            with contextlib.suppress(OSError):
+                size += sidecar.stat().st_size
+            found.append(
+                CacheEntry(
+                    key=path.stem,
+                    size_bytes=size,
+                    last_used=stat.st_mtime,
+                    summary=_summarise_sidecar(sidecar),
+                )
+            )
+        found.sort(key=lambda entry: entry.last_used, reverse=True)
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes occupied by every pickle + sidecar under the root."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def remove(self, key: str) -> bool:
+        """Delete one entry (pickle + sidecar); returns whether it existed."""
+        path = self.path_for(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        path.with_suffix(".json").unlink(missing_ok=True)
+        return existed
+
+    def sweep(self, max_bytes: int) -> List[CacheEntry]:
+        """Evict least-recently-used entries until the cache fits ``max_bytes``.
+
+        Returns the evicted entries (oldest first).  A ``max_bytes`` of zero
+        clears everything; a budget the cache already fits evicts nothing.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        entries = self.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        evicted: List[CacheEntry] = []
+        for entry in reversed(entries):  # least recently used first
+            if total <= max_bytes:
+                break
+            self.remove(entry.key)
+            total -= entry.size_bytes
+            evicted.append(entry)
+        return evicted
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -249,7 +349,11 @@ class ExperimentCache:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many records were removed."""
+        """Delete every cached entry; returns how many records were removed.
+
+        Also reclaims stale ``*.tmp`` files orphaned by killed writers,
+        which :meth:`entries` (and therefore :meth:`sweep`) never see.
+        """
         removed = 0
         if not self.root.exists():
             return removed
@@ -258,6 +362,8 @@ class ExperimentCache:
             path.unlink(missing_ok=True)
             sidecar.unlink(missing_ok=True)
             removed += 1
+        for stale in self.root.glob("*/*.tmp"):
+            stale.unlink(missing_ok=True)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,100 @@
+"""Command-line interface for the experiment cache (``python -m repro.exec``).
+
+Subcommands operate on the cache directory resolved exactly like the
+library default (``--root`` argument, then ``REPRO_CACHE_DIR``, then
+``.repro_cache/experiments``):
+
+``inspect``
+    List every cached record with its key, size, age and the
+    hyperparameter summary parsed from the JSON audit sidecar.
+``clear``
+    Delete every cached record.
+``sweep --max-mb N``
+    Evict least-recently-used records until the cache fits the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional, Sequence
+
+from repro.exec.cache import CacheEntry, ExperimentCache
+
+
+def _format_size(size_bytes: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size_bytes) < 1024.0 or unit == "GiB":
+            return f"{size_bytes:.1f} {unit}" if unit != "B" else f"{int(size_bytes)} B"
+        size_bytes /= 1024.0
+    return f"{size_bytes:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 48 * 3600:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _print_entries(entries: List[CacheEntry], now: Optional[float] = None) -> None:
+    now = time.time() if now is None else now
+    print(f"{'key':<14} {'size':>10} {'age':>7}  summary")
+    for entry in entries:
+        print(
+            f"{entry.key[:12] + '..':<14} {_format_size(entry.size_bytes):>10} "
+            f"{_format_age(max(now - entry.last_used, 0.0)):>7}  {entry.summary}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="Inspect and manage the experiment result cache.",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache/experiments)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("inspect", help="list cached records with size, age and config summary")
+    sub.add_parser("clear", help="delete every cached record")
+    sweep = sub.add_parser("sweep", help="evict least-recently-used records over a size budget")
+    sweep.add_argument("--max-mb", type=float, required=True, help="size budget in MiB")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = ExperimentCache(args.root)
+
+    if args.command == "inspect":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache at {cache.root} is empty")
+            return 0
+        print(f"cache at {cache.root}: {len(entries)} records, {_format_size(cache.total_bytes())}")
+        _print_entries(entries)
+        return 0
+
+    if args.command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} records from {cache.root}")
+        return 0
+
+    if args.command == "sweep":
+        if args.max_mb < 0:
+            print("--max-mb must be non-negative")
+            return 2
+        evicted = cache.sweep(int(args.max_mb * 1024 * 1024))
+        print(
+            f"evicted {len(evicted)} records from {cache.root}; "
+            f"{len(cache)} remain ({_format_size(cache.total_bytes())})"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

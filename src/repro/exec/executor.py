@@ -123,18 +123,32 @@ def _config_seed(config: ExperimentConfig) -> int:
     return int(key[:8], 16)
 
 
-class _CellFailure:
-    """A cell's exception, carried back from the worker with its index intact.
+class CellExecutionError(RuntimeError):
+    """Raised in the parent when a sweep cell fails (in-process or in a worker).
 
-    The formatted traceback travels as a string: pickling strips
-    ``__traceback__``, so the worker's stack would otherwise be lost on the
-    way back to the parent.
+    The message embeds the failing cell's label and the full formatted
+    traceback from where the cell actually ran, so the failure site survives
+    the process boundary even though the original exception object does not.
     """
 
-    __slots__ = ("exception", "traceback")
+    def __init__(self, label: str, formatted_traceback: str) -> None:
+        super().__init__(f"sweep cell '{label}' failed:\n{formatted_traceback}")
+        self.label = label
+        self.traceback = formatted_traceback
 
-    def __init__(self, exception: BaseException, formatted_traceback: str) -> None:
-        self.exception = exception
+
+class _CellFailure:
+    """A cell's failure, carried back from the worker with its index intact.
+
+    Only the *formatted traceback string* travels — never the live exception
+    object.  Pickling strips ``__traceback__`` anyway, and an exception whose
+    attributes do not pickle would otherwise surface as multiprocessing's
+    opaque ``MaybeEncodingError`` with no hint of which cell blew up.
+    """
+
+    __slots__ = ("traceback",)
+
+    def __init__(self, formatted_traceback: str) -> None:
         self.traceback = formatted_traceback
 
 
@@ -150,8 +164,8 @@ def _run_cell(payload: Tuple[int, ExperimentConfig, Any, bool, bool]):
     start = time.perf_counter()
     try:
         record = run_experiment(config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime)
-    except Exception as exc:
-        return index, _CellFailure(exc, traceback.format_exc()), time.perf_counter() - start
+    except Exception:
+        return index, _CellFailure(traceback.format_exc()), time.perf_counter() - start
     return index, record, time.perf_counter() - start
 
 
@@ -233,13 +247,13 @@ def run_experiments(
         emit("done", index, seconds=seconds)
 
     def settle(index: int, outcome, seconds: float) -> None:
-        """Record a completed cell or re-raise its failure with correct attribution."""
+        """Record a completed cell or raise its failure with correct attribution."""
         if isinstance(outcome, _CellFailure):
-            # The event carries the worker's full stack; the re-raised
-            # exception itself lost its traceback crossing the process
-            # boundary, so this is where the failure site is preserved.
+            # The event and the raised error both carry the worker's full
+            # stack as text — the original exception object never crosses
+            # the process boundary (see _CellFailure).
             emit("error", index, seconds=seconds, error=outcome.traceback)
-            raise outcome.exception
+            raise CellExecutionError(configs[index].describe(), outcome.traceback)
         finish(index, outcome, seconds)
 
     if pending:

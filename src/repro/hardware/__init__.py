@@ -24,6 +24,14 @@ This package reproduces that platform as an analytical model:
 Absolute numbers are calibrated to the Kintex UltraScale+ class of device;
 what matters for the reproduction is that latency, power and FPS/W respond
 to firing rates and layer shapes exactly the way the paper's platform does.
+
+The model's predictions can be checked against *measured* serving numbers:
+:mod:`repro.serve` records achieved fps and latency percentiles for live
+inference traffic together with the traffic's measured spike activity, and
+:func:`repro.hardware.report.format_measured_vs_modeled` renders that
+measurement next to the accelerator's prediction for the same workload —
+the modeled row is the FPGA, the measured row is the serving host, and the
+ratio is the hardware-efficiency gap the paper quantifies.
 """
 
 from repro.hardware.workload import LayerWorkload, NetworkWorkload, workload_from_layer_specs
@@ -34,7 +42,7 @@ from repro.hardware.latency import LatencyModel, LatencyBreakdown
 from repro.hardware.accelerator import AcceleratorConfig, SparsityAwareAccelerator, DenseBaselineAccelerator
 from repro.hardware.prior_work import PriorWorkAccelerator, PRIOR_WORK_REFERENCE
 from repro.hardware.efficiency import HardwareReport, evaluate_on_hardware
-from repro.hardware.report import format_report, format_comparison
+from repro.hardware.report import format_report, format_comparison, format_measured_vs_modeled
 from repro.hardware.quantization import QuantizationConfig, QuantizationReport, quantize_array, quantize_model
 
 __all__ = [
@@ -60,6 +68,7 @@ __all__ = [
     "evaluate_on_hardware",
     "format_report",
     "format_comparison",
+    "format_measured_vs_modeled",
     "QuantizationConfig",
     "QuantizationReport",
     "quantize_array",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.hardware.efficiency import HardwareReport
@@ -19,6 +20,41 @@ def format_report(report: HardwareReport, title: str = "Hardware evaluation") ->
         ("power", f"{report.power_w:.3f} W"),
         ("efficiency", f"{report.fps_per_watt:.1f} FPS/W"),
         ("energy / inference", f"{report.energy_per_inference_mj:.3f} mJ"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines.extend(f"  {name.ljust(width)} : {value}" for name, value in rows)
+    return "\n".join(lines)
+
+
+def format_measured_vs_modeled(
+    comparison: Mapping[str, float],
+    title: str = "Serving: measured vs modeled",
+) -> str:
+    """Render a serving measured-vs-modeled comparison as an aligned block.
+
+    ``comparison`` is the flat dict produced by
+    :meth:`repro.serve.ServeTelemetry.hardware_comparison`: measured serving
+    numbers (``measured_fps``, ``p50_ms``/``p95_ms``/``p99_ms``) next to the
+    accelerator model's prediction for the same spike traffic
+    (``modeled_fps``, ``modeled_latency_ms``) and their ratio.  The measured
+    side runs on a host CPU, so the ratio is the software-to-accelerator
+    gap the paper's hardware argument quantifies — not an error in either
+    number.
+    """
+
+    def fmt(key: str, pattern: str = "{:.1f}") -> str:
+        value = comparison.get(key, float("nan"))
+        return "n/a" if value is None or (isinstance(value, float) and math.isnan(value)) else pattern.format(value)
+
+    lines = [title, "-" * len(title)]
+    rows = [
+        ("throughput (measured)", f"{fmt('measured_fps')} FPS"),
+        ("throughput (modeled)", f"{fmt('modeled_fps')} FPS"),
+        ("measured / modeled", f"{fmt('fps_ratio', '{:.3f}')}x"),
+        ("latency p50 (measured)", f"{fmt('p50_ms', '{:.3f}')} ms"),
+        ("latency p95 (measured)", f"{fmt('p95_ms', '{:.3f}')} ms"),
+        ("latency p99 (measured)", f"{fmt('p99_ms', '{:.3f}')} ms"),
+        ("latency / inference (modeled)", f"{fmt('modeled_latency_ms', '{:.3f}')} ms"),
     ]
     width = max(len(name) for name, _ in rows)
     lines.extend(f"  {name.ljust(width)} : {value}" for name, value in rows)

@@ -39,6 +39,7 @@ from repro.runtime.engine import (
     evaluate_with_runtime,
     run_inference,
 )
+from repro.runtime.pool import CompiledNetworkPool
 from repro.runtime.kernels import (
     AvgPoolKernel,
     ConvKernel,
@@ -56,6 +57,7 @@ __all__ = [
     "make_spike_sequence",
     "measure_speedup",
     "CompiledNetwork",
+    "CompiledNetworkPool",
     "InferenceResult",
     "RuntimeCompileError",
     "compile_network",

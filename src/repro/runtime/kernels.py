@@ -68,9 +68,14 @@ class LinearKernel(Kernel):
 
     1. **silent frame** — no input spikes at all: the output is exactly the
        bias row, served from a cached buffer without touching the weights.
-    2. **gather** — input density at or below ``density_threshold``: for each
-       sample, index the non-zero input columns and reduce only the
-       corresponding rows of ``W^T`` (event-driven synaptic accumulation).
+    2. **gather** — input density at or below ``density_threshold`` *and* a
+       batch of at most ``gather_batch_limit`` samples: for each sample,
+       index the non-zero input columns and reduce only the corresponding
+       rows of ``W^T`` (event-driven synaptic accumulation).  The loop runs
+       per sample in Python, so its fixed cost grows linearly with the
+       batch while one dense BLAS call is effectively flat at these sizes —
+       beyond a few samples the loop overhead swamps the skipped MACs
+       (measured: ~1/3 of micro-batched serving time before the limit).
     3. **dense** — BLAS matmul on the same arrays the autograd op uses.
     """
 
@@ -82,11 +87,13 @@ class LinearKernel(Kernel):
         weight: np.ndarray,
         bias: Optional[np.ndarray],
         density_threshold: float = 0.25,
+        gather_batch_limit: int = 4,
     ) -> None:
         super().__init__(name)
         self.weight = weight  # (out_features, in_features), live reference
         self.bias = bias  # (out_features,) or None
         self.density_threshold = float(density_threshold)
+        self.gather_batch_limit = int(gather_batch_limit)
         self._weight_t: Optional[np.ndarray] = None  # row-gatherable (I, O) copy
 
     @property
@@ -117,7 +124,7 @@ class LinearKernel(Kernel):
                 out += self.bias
             return out
         density = nnz / frame.size
-        if density <= self.density_threshold:
+        if density <= self.density_threshold and n <= self.gather_batch_limit:
             weight_t = self._gather_weight()
             out = np.empty((n, self.out_features), dtype=frame.dtype)
             for i in range(n):

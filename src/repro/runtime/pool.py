@@ -1,0 +1,87 @@
+"""Reusable pools of compiled inference plans.
+
+Compiling a network is cheap but not free (kernel construction plus, on
+first run, per-shape buffer allocation), and a :class:`CompiledNetwork`
+holds *mutable* per-run state — membrane buffers, cached im2col views — so
+one plan must never execute two batches concurrently.  The serving layer
+therefore checks plans out of a :class:`CompiledNetworkPool`: each worker
+gets exclusive use of a plan for the duration of one batch, and warmed
+plans (buffers already sized for the serving shape) are reused instead of
+recompiled.
+
+Every pooled plan compiles from the *same* model, whose parameter arrays
+the kernels reference live — an in-place ``load_state_dict`` on the model
+updates every plan in the pool at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List
+
+from repro.nn.module import Module
+from repro.runtime.engine import CompiledNetwork, compile_network
+
+
+class CompiledNetworkPool:
+    """Thread-safe checkout pool of :class:`CompiledNetwork` instances.
+
+    Parameters
+    ----------
+    model:
+        The model every pooled plan is compiled from.  Compilation happens
+        lazily: a plan is built the first time a checkout finds the pool
+        empty, so an idle pool costs nothing.
+    max_idle:
+        How many idle plans are retained for reuse.  Checkouts beyond this
+        still succeed (a fresh plan is compiled); the surplus plan is simply
+        dropped on release.  Size this to the serving worker count.
+
+    Attributes
+    ----------
+    compiled_count:
+        Total plans compiled over the pool's lifetime — a serving loop with
+        a correctly sized pool compiles at most ``workers`` plans ever.
+    """
+
+    def __init__(self, model: Module, max_idle: int = 4) -> None:
+        if max_idle < 1:
+            raise ValueError(f"max_idle must be at least 1, got {max_idle}")
+        self.model = model
+        self.max_idle = int(max_idle)
+        self.compiled_count = 0
+        self._idle: List[CompiledNetwork] = []
+        self._lock = threading.Lock()
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    @contextmanager
+    def acquire(self) -> Iterator[CompiledNetwork]:
+        """Check out a plan for exclusive use; returns it to the pool after.
+
+        The plan's own :meth:`CompiledNetwork.run` resets membrane state at
+        the start of every call, so a reused plan carries no residue from
+        the previous batch.
+        """
+        with self._lock:
+            plan = self._idle.pop() if self._idle else None
+        if plan is None:
+            plan = compile_network(self.model)
+            with self._lock:
+                self.compiled_count += 1
+        try:
+            yield plan
+        finally:
+            with self._lock:
+                if len(self._idle) < self.max_idle:
+                    self._idle.append(plan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledNetworkPool(idle={self.idle_count}, max_idle={self.max_idle}, "
+            f"compiled={self.compiled_count})"
+        )

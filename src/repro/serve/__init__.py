@@ -1,0 +1,48 @@
+"""Micro-batched inference serving on top of the event-driven runtime.
+
+The papers this repo reproduces argue that surrogate/beta/theta tuning pays
+off *at deployment time* — on hardware serving real inference traffic.
+This package is that deployment surface:
+
+* :class:`~repro.serve.registry.ModelRegistry` persists trained models as
+  single-file checkpoints (weights + architecture + encoder spec + the
+  modeled hardware report) and hands them back compiled through
+  :func:`repro.runtime.compile_network`, with a
+  :class:`~repro.runtime.pool.CompiledNetworkPool` of reusable plans per
+  model.  :func:`~repro.serve.registry.train_and_register` bridges straight
+  from an :class:`~repro.core.config.ExperimentConfig` to a servable entry.
+* :class:`~repro.serve.scheduler.InferenceServer` accepts single raw
+  images, runs the model's encoder per request, coalesces concurrent
+  requests into micro-batches (``max_batch`` / ``max_wait_ms``), dispatches
+  them across a worker pool, and demultiplexes per-request predictions —
+  bit-identical to offline ``evaluate_with_runtime`` on the same batches.
+* :class:`~repro.serve.telemetry.ServeTelemetry` measures what the hardware
+  models predict: p50/p95/p99 latency, achieved fps, and per-layer spike
+  activity, and renders measured-vs-modeled comparisons via
+  :func:`repro.hardware.report.format_measured_vs_modeled`.
+
+``benchmarks/bench_serve.py`` load-tests the stack in closed- and open-loop
+arrival modes; ``examples/serve_quickstart.py`` is the runnable tour.
+"""
+
+from repro.serve.registry import (
+    ModelRegistry,
+    RegisteredModel,
+    RegistryError,
+    train_and_register,
+)
+from repro.serve.scheduler import InferenceServer, ServeResult, ServerClosed
+from repro.serve.telemetry import RequestStat, ServeTelemetry, format_telemetry
+
+__all__ = [
+    "ModelRegistry",
+    "RegisteredModel",
+    "RegistryError",
+    "train_and_register",
+    "InferenceServer",
+    "ServeResult",
+    "ServerClosed",
+    "RequestStat",
+    "ServeTelemetry",
+    "format_telemetry",
+]

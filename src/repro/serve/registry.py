@@ -1,0 +1,231 @@
+"""On-disk registry of servable models.
+
+The registry is the hand-off point between the offline world (sweeps,
+training runs) and the serving layer: a trained model is published once
+under a name, and any number of serving processes can then load it, compile
+it through the event-driven runtime, and keep a pool of reusable compiled
+plans for it.
+
+Layout (one directory per model under the root)::
+
+    <root>/<name>/checkpoint.npz   # weights + architecture + encoder spec + meta
+    <root>/<name>/meta.json        # audit copy of the meta (human-readable)
+
+The checkpoint is the single source of truth — the registry meta (config,
+metrics, modeled hardware report) rides *inside* it, so one atomic
+``os.replace`` publishes weights and meta together and a serving process
+can never pair a republished model with the previous model's report.  The
+``meta.json`` sidecar is a human-readable audit copy only.  The default
+root is ``.repro_registry/models`` under the current working directory,
+overridable with ``REPRO_REGISTRY_DIR`` or the ``root`` argument.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import evaluate_trained_model, train_model
+from repro.encoding import Encoder
+from repro.exec.cache import jsonable
+from repro.utils import atomic_write
+from repro.nn.module import Module
+from repro.runtime.pool import CompiledNetworkPool
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+
+PathLike = Union[str, Path]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class RegistryError(KeyError):
+    """Raised for unknown model names and malformed registry entries."""
+
+
+@dataclass
+class RegisteredModel:
+    """One loaded registry entry, ready to serve.
+
+    Attributes
+    ----------
+    name:
+        Registry name the entry was published under.
+    model:
+        The reconstructed model (eval mode, weights loaded).
+    encoder:
+        The input encoder saved with it (``None`` if published without one).
+    meta:
+        The registry meta stored inside the checkpoint: ``config`` (resolved experiment
+        config as plain data), ``accuracy``, ``hardware`` (the *modeled*
+        :meth:`~repro.hardware.efficiency.HardwareReport.as_dict` metrics
+        used for measured-vs-modeled serving comparisons), and caller
+        ``metadata``.
+    """
+
+    name: str
+    model: Module
+    encoder: Optional[Encoder]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def modeled_hardware(self) -> Optional[Dict[str, float]]:
+        """The modeled hardware metrics published with the model, if any."""
+        hardware = self.meta.get("hardware")
+        return dict(hardware) if isinstance(hardware, dict) else None
+
+
+class ModelRegistry:
+    """Directory-backed store of named, servable model checkpoints."""
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_REGISTRY_DIR") or Path(".repro_registry") / "models"
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def _entry_dir(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}; use letters, digits, '.', '_', '-' "
+                "(must not start with a separator)"
+            )
+        return self.root / name
+
+    def checkpoint_path(self, name: str) -> Path:
+        return self._entry_dir(name) / "checkpoint.npz"
+
+    def meta_path(self, name: str) -> Path:
+        return self._entry_dir(name) / "meta.json"
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            return self.checkpoint_path(name).exists()
+        except RegistryError:
+            return False
+
+    def names(self) -> List[str]:
+        """Registered model names, sorted."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / "checkpoint.npz").exists()
+        )
+
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        name: str,
+        model: Module,
+        encoder: Optional[Encoder] = None,
+        config: Optional[ExperimentConfig] = None,
+        accuracy: Optional[float] = None,
+        hardware: Optional[Any] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Publish a model under ``name`` (atomic; replaces any previous entry).
+
+        Parameters
+        ----------
+        name:
+            Registry name (letters, digits, ``.``, ``_``, ``-``).
+        model, encoder:
+            The trained model and the encoder inference requests go through.
+        config:
+            The experiment configuration that produced the model (stored as
+            plain data for auditing).
+        accuracy:
+            Test accuracy measured offline.
+        hardware:
+            The modeled :class:`~repro.hardware.efficiency.HardwareReport`
+            (or an equivalent ``as_dict()``-style mapping) for this model —
+            the prediction that serving telemetry compares measured numbers
+            against.
+        metadata:
+            Free-form JSON-serialisable payload.
+        """
+        entry = self._entry_dir(name)
+        entry.mkdir(parents=True, exist_ok=True)
+        hardware_dict: Optional[Dict[str, Any]] = None
+        if hardware is not None:
+            hardware_dict = dict(hardware.as_dict()) if hasattr(hardware, "as_dict") else dict(hardware)
+        meta = {
+            "name": name,
+            "config": jsonable(config) if config is not None else None,
+            "accuracy": float(accuracy) if accuracy is not None else None,
+            "hardware": hardware_dict,
+            "metadata": metadata or {},
+        }
+        # The meta rides inside the checkpoint so weights + meta publish in
+        # ONE atomic replace; the JSON sidecar is an audit copy only.
+        path = save_checkpoint(self.checkpoint_path(name), model, encoder, metadata={"registry": meta})
+        atomic_write(self.meta_path(name), json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"))
+        return path
+
+    def load(self, name: str) -> RegisteredModel:
+        """Reconstruct a registered model (eval mode) with its encoder and meta."""
+        path = self.checkpoint_path(name)
+        if not path.exists():
+            raise RegistryError(f"no model named {name!r} in registry at {self.root}")
+        model, encoder, checkpoint_meta = load_checkpoint(path)
+        # Meta comes from the checkpoint itself (atomic with the weights),
+        # never from the audit sidecar.
+        meta = checkpoint_meta.get("registry") if isinstance(checkpoint_meta, dict) else None
+        return RegisteredModel(name=name, model=model, encoder=encoder, meta=meta or {})
+
+    def compiled_pool(self, name: str, max_idle: int = 4) -> Tuple[RegisteredModel, CompiledNetworkPool]:
+        """Load a model and wrap it in a :class:`CompiledNetworkPool`."""
+        entry = self.load(name)
+        return entry, CompiledNetworkPool(entry.model, max_idle=max_idle)
+
+    def remove(self, name: str) -> bool:
+        """Delete a registry entry; returns whether it existed."""
+        entry = self._entry_dir(name)
+        if not entry.exists():
+            return False
+        shutil.rmtree(entry)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(root={str(self.root)!r}, models={self.names()})"
+
+
+def train_and_register(
+    registry: ModelRegistry,
+    name: str,
+    config: ExperimentConfig,
+    accelerator: Any = None,
+    use_runtime: bool = True,
+    verbose: bool = False,
+) -> "RegisteredModel":
+    """Train one configuration and publish the trained model for serving.
+
+    Runs the exact sweep recipe (:func:`repro.core.experiment.train_model` +
+    :func:`~repro.core.experiment.evaluate_trained_model`), then stores the
+    trained model, its encoder, the resolved config, the measured accuracy
+    and the *modeled* hardware report in the registry — everything the
+    serving layer needs to run the model and compare measured throughput
+    against the accelerator prediction.  Returns the entry as
+    ``registry.load(name)`` yields it (checkpoint round-trip included).
+    """
+    model, encoder, test_loader, training = train_model(config, verbose=verbose)
+    accuracy = training.final_val_accuracy
+    _, hardware = evaluate_trained_model(
+        model, encoder, test_loader, accelerator=accelerator, accuracy=accuracy, use_runtime=use_runtime
+    )
+    registry.save(
+        name,
+        model,
+        encoder,
+        config=config,
+        accuracy=accuracy,
+        hardware=hardware,
+        metadata={"epochs_run": training.epochs_run},
+    )
+    return registry.load(name)

@@ -1,0 +1,324 @@
+"""Micro-batched inference serving.
+
+:class:`InferenceServer` accepts *single* raw images, encodes each one
+through the model's encoder at submit time, and coalesces concurrent
+requests into micro-batches before dispatching them to the event-driven
+runtime:
+
+* a request is queued with its encoded ``(T, 1, ...)`` spike train;
+* the dispatcher thread forms a batch as soon as ``max_batch`` requests are
+  waiting, or when the oldest waiting request has aged ``max_wait_ms``
+  (``max_wait_ms=0`` dispatches whatever is queued immediately — the
+  serial, latency-optimal mode);
+* a worker checks a compiled plan out of the
+  :class:`~repro.runtime.pool.CompiledNetworkPool`, concatenates the
+  requests along the batch axis, runs one timestep loop, and demultiplexes
+  the per-request spike counts back onto each request's future.
+
+Because every kernel in the runtime treats the batch axis as fully
+data-parallel, a request's spike counts do not depend on which batch it
+was coalesced into beyond BLAS summation grouping; for deterministic
+batching (requests submitted before :meth:`InferenceServer.start`, FIFO
+chunks of ``max_batch``) the served counts are bit-identical to
+:func:`repro.runtime.evaluate_with_runtime` over the same batches — the
+contract ``tests/test_serve.py`` and the serving benchmark enforce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.encoding import Encoder
+from repro.nn.module import Module
+from repro.runtime.pool import CompiledNetworkPool
+from repro.serve.telemetry import RequestStat, ServeTelemetry
+
+
+class ServerClosed(RuntimeError):
+    """Raised when submitting to (or pending on) a server that has shut down."""
+
+
+@dataclass
+class ServeResult:
+    """What one request resolves to.
+
+    Attributes
+    ----------
+    prediction:
+        Predicted class (argmax of the accumulated output spike counts).
+    counts:
+        The request's output spike counts, shape ``(num_classes,)`` —
+        bit-identical to what ``evaluate_with_runtime`` computes for the
+        same batch.
+    latency_ms / queue_ms:
+        End-to-end and queue-only wall time for this request.
+    batch_size:
+        Size of the micro-batch the request was served in.
+    input_density:
+        Non-zero fraction of the request's encoded spike train.
+    """
+
+    prediction: int
+    counts: np.ndarray
+    latency_ms: float
+    queue_ms: float
+    batch_size: int
+    input_density: float
+
+
+@dataclass
+class _Pending:
+    spikes: np.ndarray  # (T, 1, ...)
+    future: "Future[ServeResult]"
+    submitted: float  # when submit() was called (latency measurement)
+    queued: float  # when the request entered the queue (batching deadline)
+    input_density: float
+
+
+class InferenceServer:
+    """Micro-batching front-end over a compiled spiking network.
+
+    Parameters
+    ----------
+    model:
+        The model to serve, or an existing
+        :class:`~repro.runtime.pool.CompiledNetworkPool` wrapping it.
+    encoder:
+        Input encoder applied to every submitted image.  Stochastic
+        encoders draw from their own stream under the server's lock, so
+        encoded trains depend on submission order (deterministic for a
+        single-threaded client).
+    max_batch:
+        Largest micro-batch the dispatcher will form.
+    max_wait_ms:
+        How long the oldest queued request may wait for company before the
+        batch is dispatched anyway.  ``0`` disables coalescing-by-time:
+        whatever is queued when the dispatcher wakes is sent immediately.
+    workers:
+        Concurrent batch executors.  Each worker checks out its own
+        compiled plan, so ``workers`` bounds the plans ever compiled.
+    telemetry:
+        Optional shared :class:`ServeTelemetry` (a fresh one is created by
+        default, exposed as :attr:`telemetry`).
+
+    Requests may be submitted before :meth:`start`: they queue up and are
+    drained in FIFO chunks of exactly ``max_batch`` once the dispatcher
+    starts — the deterministic-batching mode the equivalence tests use.
+    Use as a context manager (``with InferenceServer(...) as server``) to
+    start and stop automatically; :meth:`stop` drains queued work by
+    default.
+    """
+
+    def __init__(
+        self,
+        model: Union[Module, CompiledNetworkPool],
+        encoder: Encoder,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        workers: int = 1,
+        telemetry: Optional[ServeTelemetry] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.pool = model if isinstance(model, CompiledNetworkPool) else CompiledNetworkPool(model, max_idle=workers)
+        self.encoder = encoder
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.workers = int(workers)
+        self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+
+        self._cv = threading.Condition()
+        # Encoding is the dominant per-request CPU cost; it gets its own
+        # lock so concurrent submitters serialise only against each other
+        # (keeping stochastic encoder streams submission-ordered) without
+        # stalling the dispatcher, which waits on the queue condition.
+        self._encode_lock = threading.Lock()
+        self._queue: Deque[_Pending] = deque()
+        self._closed = False
+        self._draining = True
+        self._dispatcher: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceServer":
+        """Launch the dispatcher and worker pool (idempotent)."""
+        with self._cv:
+            if self._closed:
+                raise ServerClosed("server has been stopped")
+            if self._dispatcher is not None:
+                return self
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve"
+            )
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+            )
+            self._dispatcher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; by default finishes all queued work first.
+
+        With ``drain=False`` queued requests fail with :class:`ServerClosed`.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = drain
+            self._cv.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        # Anything still queued was abandoned (drain=False, or never started).
+        abandoned: List[_Pending] = []
+        with self._cv:
+            while self._queue:
+                abandoned.append(self._queue.popleft())
+        for pending in abandoned:
+            pending.future.set_exception(ServerClosed("server stopped before the request ran"))
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, image: np.ndarray) -> "Future[ServeResult]":
+        """Queue one raw image; returns a future resolving to a :class:`ServeResult`.
+
+        The image is encoded synchronously (so encoder errors surface here,
+        attributed to the caller) and the request then waits to be coalesced.
+        """
+        image = np.asarray(image, dtype=np.float32)
+        submitted = time.perf_counter()
+        if self._closed:
+            raise ServerClosed("cannot submit to a stopped server")
+        if getattr(self.encoder, "stochastic", True):
+            # Only stochastic encoders need submission-order serialisation
+            # (the RNG stream); deterministic ones encode fully in parallel.
+            with self._encode_lock:
+                spikes = self.encoder(image[None])
+        else:
+            spikes = self.encoder(image[None])
+        density = float(np.count_nonzero(spikes)) / float(spikes.size) if spikes.size else 0.0
+        future: "Future[ServeResult]" = Future()
+        with self._cv:
+            if self._closed:
+                raise ServerClosed("cannot submit to a stopped server")
+            # The wait-for-company clock starts at queue entry, not at
+            # submit: encoding time must not eat into the max_wait window.
+            self._queue.append(
+                _Pending(
+                    spikes=spikes,
+                    future=future,
+                    submitted=submitted,
+                    queued=time.perf_counter(),
+                    input_density=density,
+                )
+            )
+            self._cv.notify_all()
+        return future
+
+    def submit_many(self, images: Sequence[np.ndarray]) -> List["Future[ServeResult]"]:
+        """Submit a sequence of independent single-image requests (FIFO order)."""
+        return [self.submit(image) for image in images]
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _take_batch(self) -> Optional[List[_Pending]]:
+        """Block until a batch is ready (or shutdown); pop and return it."""
+        with self._cv:
+            while True:
+                if self._queue:
+                    if len(self._queue) >= self.max_batch or self._closed:
+                        break
+                    deadline = self._queue[0].queued + self.max_wait
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cv.wait(timeout=remaining)
+                else:
+                    if self._closed:
+                        return None
+                    # Both wake sources (submit, stop) notify under this
+                    # condition, so an idle dispatcher blocks without polling.
+                    self._cv.wait()
+            return [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            if self._closed and not self._draining:
+                for pending in batch:
+                    pending.future.set_exception(ServerClosed("server stopped before the request ran"))
+                continue
+            self._executor.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        try:
+            started = time.perf_counter()
+            spikes = (
+                batch[0].spikes
+                if len(batch) == 1
+                else np.concatenate([pending.spikes for pending in batch], axis=1)
+            )
+            with self.pool.acquire() as plan:
+                result = plan.run(spikes, record_activity=True)
+            done = time.perf_counter()
+
+            counts = result.counts
+            stats = [
+                RequestStat(
+                    latency_ms=(done - pending.submitted) * 1000.0,
+                    queue_ms=(started - pending.submitted) * 1000.0,
+                    batch_size=len(batch),
+                    input_density=pending.input_density,
+                )
+                for pending in batch
+            ]
+            # Telemetry is recorded BEFORE the futures resolve: if it raises
+            # (e.g. a mis-shared ServeTelemetry), the failure reaches the
+            # requesters through the except block instead of vanishing.
+            self.telemetry.record_batch(
+                stats,
+                result.activity,
+                first_submit=min(pending.submitted for pending in batch),
+                done=done,
+            )
+            for i, (pending, stat) in enumerate(zip(batch, stats)):
+                row = np.array(counts[i], copy=True)
+                pending.future.set_result(
+                    ServeResult(
+                        prediction=int(row.argmax()),
+                        counts=row,
+                        latency_ms=stat.latency_ms,
+                        queue_ms=stat.queue_ms,
+                        batch_size=stat.batch_size,
+                        input_density=stat.input_density,
+                    )
+                )
+        except BaseException as exc:  # noqa: BLE001 - must reach the futures
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)

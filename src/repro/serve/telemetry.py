@@ -1,0 +1,205 @@
+"""Live serving telemetry: latency percentiles, achieved fps, spike activity.
+
+The scheduler reports one :class:`RequestStat` per completed request plus
+the batch's measured :class:`~repro.runtime.activity.RuntimeActivity`.
+:class:`ServeTelemetry` aggregates both under a lock: request stats into a
+bounded window (percentiles are over the most recent ``window`` requests),
+activity into a running total — which is exactly the input the hardware
+cost models consume, so the telemetry can put *measured* serving throughput
+side by side with the accelerator model's *predicted* fps for the same
+traffic (:meth:`ServeTelemetry.hardware_comparison`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.activity import RuntimeActivity
+
+
+@dataclass(frozen=True)
+class RequestStat:
+    """Timing and activity footprint of one served request.
+
+    Attributes
+    ----------
+    latency_ms:
+        Submit-to-completion wall time (queueing + batching + compute).
+    queue_ms:
+        Time spent waiting before the batch started executing.
+    batch_size:
+        Size of the micro-batch the request was coalesced into.
+    input_density:
+        Fraction of non-zero elements in the request's encoded spike train.
+    """
+
+    latency_ms: float
+    queue_ms: float
+    batch_size: int
+    input_density: float
+
+
+class ServeTelemetry:
+    """Thread-safe aggregate of serving measurements.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent requests the latency percentiles cover.
+        Totals (request/batch counters, spike activity, fps) are unbounded.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._stats: Deque[RequestStat] = deque(maxlen=self.window)
+        self.total_requests = 0
+        self.total_batches = 0
+        self.activity: Optional[RuntimeActivity] = None
+        self._first_submit: Optional[float] = None
+        self._last_done: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def record_batch(
+        self,
+        stats: Sequence[RequestStat],
+        activity: Optional[RuntimeActivity],
+        first_submit: float,
+        done: float,
+    ) -> None:
+        """Fold one completed micro-batch into the aggregate."""
+        with self._lock:
+            self._stats.extend(stats)
+            self.total_requests += len(stats)
+            self.total_batches += 1
+            if activity is not None:
+                if self.activity is None:
+                    self.activity = RuntimeActivity(num_steps=activity.num_steps)
+                self.activity.merge(activity)
+            if self._first_submit is None or first_submit < self._first_submit:
+                self._first_submit = first_submit
+            if self._last_done is None or done > self._last_done:
+                self._last_done = done
+
+    # ------------------------------------------------------------------ #
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 latency (ms) over the current window (NaN when empty)."""
+        with self._lock:
+            latencies = [stat.latency_ms for stat in self._stats]
+        if not latencies:
+            return {"p50_ms": float("nan"), "p95_ms": float("nan"), "p99_ms": float("nan")}
+        p50, p95, p99 = np.percentile(np.asarray(latencies), [50.0, 95.0, 99.0])
+        return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+
+    def achieved_fps(self) -> float:
+        """Completed requests per second of wall time since the first submit."""
+        with self._lock:
+            if self._first_submit is None or self._last_done is None or self.total_requests == 0:
+                return 0.0
+            elapsed = self._last_done - self._first_submit
+            if elapsed <= 0:
+                return float("inf")
+            return self.total_requests / elapsed
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return float(np.mean([stat.batch_size for stat in self._stats]))
+
+    def mean_input_density(self) -> float:
+        """Average encoded-input density over the window (measured, per request)."""
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return float(np.mean([stat.input_density for stat in self._stats]))
+
+    def measured_firing_rates(self) -> Dict[str, float]:
+        """Measured spikes per neuron per step for every served spiking layer."""
+        with self._lock:
+            activity = self.activity
+            if activity is None:
+                return {}
+            return {name: activity.firing_rate(name) for name in activity.layer_output_events}
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """Flat snapshot of every headline serving metric."""
+        out: Dict[str, float] = {
+            "requests": float(self.total_requests),
+            "batches": float(self.total_batches),
+            "achieved_fps": self.achieved_fps(),
+            "mean_batch_size": self.mean_batch_size(),
+            "mean_input_density": self.mean_input_density(),
+        }
+        out.update(self.latency_percentiles())
+        return out
+
+    def hardware_comparison(
+        self,
+        layer_specs: Sequence[Mapping],
+        accelerator: Optional[Any] = None,
+        modeled: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """Measured serving numbers next to the accelerator model's prediction.
+
+        The modeled side comes either from ``modeled`` (a stored
+        :meth:`~repro.hardware.efficiency.HardwareReport.as_dict` mapping,
+        e.g. the one the registry publishes with each model) or — preferred
+        when traffic has been served — from running ``accelerator`` on the
+        workload built from the *measured* serving activity, so prediction
+        and measurement describe exactly the same spike traffic.
+
+        Returns a flat dict with ``measured_fps`` / ``modeled_fps`` /
+        ``fps_ratio`` (measured over modeled) plus measured latency
+        percentiles and the modeled per-inference latency.
+        """
+        with self._lock:
+            activity = self.activity
+        modeled_fps = float("nan")
+        modeled_latency_ms = float("nan")
+        if activity is not None and activity.samples > 0 and layer_specs:
+            from repro.hardware.accelerator import SparsityAwareAccelerator
+
+            accel = accelerator if accelerator is not None else SparsityAwareAccelerator()
+            run = accel.run(activity.to_workload(layer_specs))
+            modeled_fps = float(run.fps)
+            modeled_latency_ms = float(run.latency_ms)
+        elif modeled is not None:
+            modeled_fps = float(modeled.get("fps", float("nan")))
+            modeled_latency_ms = float(modeled.get("latency_ms", float("nan")))
+
+        measured_fps = self.achieved_fps()
+        comparison = {
+            "measured_fps": measured_fps,
+            "modeled_fps": modeled_fps,
+            "fps_ratio": measured_fps / modeled_fps if modeled_fps and modeled_fps == modeled_fps else float("nan"),
+            "modeled_latency_ms": modeled_latency_ms,
+        }
+        comparison.update(self.latency_percentiles())
+        return comparison
+
+
+def format_telemetry(summary: Mapping[str, float], title: str = "Serving telemetry") -> str:
+    """Render a :meth:`ServeTelemetry.summary` dict as an aligned text block."""
+    rows: List[tuple] = [
+        ("requests", f"{summary.get('requests', 0):.0f}"),
+        ("batches", f"{summary.get('batches', 0):.0f}"),
+        ("mean batch size", f"{summary.get('mean_batch_size', 0):.2f}"),
+        ("achieved fps", f"{summary.get('achieved_fps', 0):.1f}"),
+        ("latency p50", f"{summary.get('p50_ms', float('nan')):.3f} ms"),
+        ("latency p95", f"{summary.get('p95_ms', float('nan')):.3f} ms"),
+        ("latency p99", f"{summary.get('p99_ms', float('nan')):.3f} ms"),
+        ("input density", f"{summary.get('mean_input_density', 0) * 100:.2f} %"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = [title, "-" * len(title)]
+    lines.extend(f"  {name.ljust(width)} : {value}" for name, value in rows)
+    return "\n".join(lines)

@@ -6,6 +6,12 @@ counts, Adam, and a cosine-annealing learning-rate schedule (SGDR,
 Loshchilov & Hutter 2016) over 25 epochs.
 """
 
+from repro.training.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.training.loss import CrossEntropySpikeCount, MSESpikeCount, cross_entropy_logits
 from repro.training.optim import SGD, Adam, Optimizer
 from repro.training.schedulers import ConstantLR, CosineAnnealingLR, LRScheduler, StepLR
@@ -14,6 +20,10 @@ from repro.training.callbacks import Callback, EarlyStopping, HistoryRecorder
 from repro.training.trainer import Trainer, TrainingResult
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
     "CrossEntropySpikeCount",
     "MSESpikeCount",
     "cross_entropy_logits",

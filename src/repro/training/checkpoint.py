@@ -1,0 +1,243 @@
+"""Single-file model checkpoints (weights + architecture + encoder spec).
+
+A checkpoint is one ``.npz`` archive holding every parameter from
+``model.state_dict()`` plus a JSON header describing how to rebuild the
+model (class, constructor arguments, LIF reset/fast-path flags), the input
+encoder it was trained with, and free-form caller metadata.  Loading
+reconstructs the model with :func:`~repro.nn.module.Module.load_state_dict`,
+so a reloaded model is *bit-identical* to the saved one: its dense forward,
+and the event-driven runtime compiled from it, produce exactly the spike
+trains of the original (``tests/test_checkpoint.py``).
+
+Only the repo's two classifier architectures (:class:`SpikingCNN`,
+:class:`SpikingMLP`) are supported — the same set the runtime can compile —
+keeping the header plain data rather than pickled code.  Stochastic
+encoders (rate) are restored from their construction seed: the reloaded
+encoder restarts its spike stream from the beginning rather than from the
+saved generator mid-state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+import repro
+from repro.core.network import SpikingCNN, SpikingMLP
+from repro.encoding import DeltaEncoder, DirectEncoder, Encoder, LatencyEncoder, RateEncoder
+from repro.neurons.lif import LIF
+from repro.nn.module import Module
+from repro.utils import atomic_write
+
+#: Bump when the archive layout or header structure changes.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Prefix distinguishing parameter arrays from the header inside the archive.
+_PARAM_PREFIX = "param/"
+_HEADER_KEY = "__checkpoint__"
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(ValueError):
+    """Raised when a checkpoint cannot be written or reconstructed."""
+
+
+# ---------------------------------------------------------------------- #
+# Encoder spec
+# ---------------------------------------------------------------------- #
+_ENCODER_CLASSES = {
+    "rate": RateEncoder,
+    "latency": LatencyEncoder,
+    "delta": DeltaEncoder,
+    "direct": DirectEncoder,
+}
+
+
+def encoder_spec(encoder: Encoder) -> Dict[str, Any]:
+    """Plain-data description from which :func:`build_encoder` reconstructs."""
+    name = getattr(encoder, "name", None)
+    if name not in _ENCODER_CLASSES or type(encoder) is not _ENCODER_CLASSES[name]:
+        raise CheckpointError(
+            f"cannot checkpoint encoder {type(encoder).__name__}; "
+            f"supported: {sorted(_ENCODER_CLASSES)}"
+        )
+    spec: Dict[str, Any] = {"name": name, "num_steps": encoder.num_steps, "seed": encoder.seed}
+    if isinstance(encoder, RateEncoder):
+        spec["gain"] = encoder.gain
+    elif isinstance(encoder, LatencyEncoder):
+        spec["threshold"] = encoder.threshold
+    elif isinstance(encoder, DeltaEncoder):
+        spec["delta_threshold"] = encoder.delta_threshold
+    return spec
+
+
+def build_encoder(spec: Dict[str, Any]) -> Encoder:
+    """Reconstruct an encoder from :func:`encoder_spec` output."""
+    kwargs = dict(spec)
+    name = kwargs.pop("name", None)
+    if name not in _ENCODER_CLASSES:
+        raise CheckpointError(f"unknown encoder '{name}' in checkpoint; supported: {sorted(_ENCODER_CLASSES)}")
+    return _ENCODER_CLASSES[name](**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Model spec
+# ---------------------------------------------------------------------- #
+def _lif_layers(model: Module):
+    return [m for m in model.modules() if isinstance(m, LIF)]
+
+
+def model_spec(model: Module) -> Dict[str, Any]:
+    """Plain-data description from which :func:`build_model` reconstructs.
+
+    Captures the constructor arguments plus the LIF flags the constructors
+    do not take (``reset_mechanism``, ``use_fused``), which are re-applied
+    to every spiking layer on load.
+    """
+    lifs = _lif_layers(model)
+    if not lifs:
+        raise CheckpointError(f"{type(model).__name__} has no LIF layers to checkpoint")
+    lif = lifs[0]
+    # The spec stores ONE set of LIF settings and re-applies it to every
+    # layer on load; a per-layer-mutated model would silently round-trip to
+    # a different model, so heterogeneity is a loud error instead.
+    for i, other in enumerate(lifs[1:], start=1):
+        same = (
+            other.beta == lif.beta
+            and other.threshold == lif.threshold
+            and other.reset_mechanism == lif.reset_mechanism
+            and other.use_fused == lif.use_fused
+            and other.surrogate == lif.surrogate
+        )
+        if not same:
+            raise CheckpointError(
+                f"cannot checkpoint {type(model).__name__}: LIF layer {i} differs from "
+                "layer 0 (beta/threshold/reset/surrogate/use_fused must match across layers)"
+            )
+    surrogate = lif.surrogate
+    common = {
+        "beta": float(lif.beta),
+        "threshold": float(lif.threshold),
+        "surrogate_name": surrogate.name,
+        "surrogate_scale": float(surrogate.scale),
+    }
+    if isinstance(model, SpikingCNN):
+        kwargs = {
+            "image_size": model.image_size,
+            "in_channels": model.in_channels,
+            "conv_channels": list(model.conv_channels),
+            "hidden_units": model.hidden_units,
+            "num_classes": model.num_classes,
+            **common,
+        }
+        cls_name = "SpikingCNN"
+    elif isinstance(model, SpikingMLP):
+        kwargs = {
+            "in_features": model.in_features,
+            "hidden_units": model.hidden_units,
+            "num_classes": model.num_classes,
+            **common,
+        }
+        cls_name = "SpikingMLP"
+    else:
+        raise CheckpointError(
+            f"cannot checkpoint {type(model).__name__}; supported: SpikingCNN, SpikingMLP"
+        )
+    return {
+        "class": cls_name,
+        "kwargs": kwargs,
+        "reset_mechanism": lif.reset_mechanism,
+        "use_fused": bool(lif.use_fused),
+    }
+
+
+def build_model(spec: Dict[str, Any]) -> Module:
+    """Reconstruct an (untrained) model skeleton from :func:`model_spec`."""
+    classes = {"SpikingCNN": SpikingCNN, "SpikingMLP": SpikingMLP}
+    cls = classes.get(spec.get("class"))
+    if cls is None:
+        raise CheckpointError(f"unknown model class '{spec.get('class')}' in checkpoint")
+    kwargs = dict(spec.get("kwargs", {}))
+    if "conv_channels" in kwargs:
+        kwargs["conv_channels"] = tuple(kwargs["conv_channels"])
+    model = cls(**kwargs)
+    for lif in _lif_layers(model):
+        lif.reset_mechanism = spec.get("reset_mechanism", lif.reset_mechanism)
+        lif.use_fused = bool(spec.get("use_fused", lif.use_fused))
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# Save / load
+# ---------------------------------------------------------------------- #
+def save_checkpoint(
+    path: PathLike,
+    model: Module,
+    encoder: Optional[Encoder] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a single-file checkpoint (atomic rename, ``.npz`` archive).
+
+    Parameters
+    ----------
+    path:
+        Destination file.  The archive is published via a temp file +
+        ``os.replace``, so a reader never sees a partial checkpoint.
+    model:
+        A :class:`SpikingCNN` or :class:`SpikingMLP`.
+    encoder:
+        Optional input encoder saved alongside the weights.
+    metadata:
+        Optional JSON-serialisable caller payload (config, metrics, ...).
+    """
+    header = {
+        "format": CHECKPOINT_FORMAT_VERSION,
+        "repro_version": repro.__version__,
+        "model": model_spec(model),
+        "encoder": encoder_spec(encoder) if encoder is not None else None,
+        "metadata": metadata or {},
+    }
+    try:
+        header_json = json.dumps(header, sort_keys=True)
+    except TypeError as exc:
+        raise CheckpointError(f"checkpoint metadata is not JSON-serialisable: {exc}") from None
+    arrays = {_PARAM_PREFIX + name: value for name, value in model.state_dict().items()}
+
+    path = Path(path)
+    buffer = io.BytesIO()
+    np.savez(buffer, **{_HEADER_KEY: header_json}, **arrays)
+    atomic_write(path, buffer.getvalue())
+    return path
+
+
+def load_checkpoint(path: PathLike) -> Tuple[Module, Optional[Encoder], Dict[str, Any]]:
+    """Rebuild ``(model, encoder, metadata)`` from :func:`save_checkpoint`.
+
+    The returned model is in eval mode with the saved weights loaded;
+    ``encoder`` is ``None`` when the checkpoint was saved without one.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _HEADER_KEY not in archive.files:
+            raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
+        header = json.loads(str(archive[_HEADER_KEY][()]))
+        state = {
+            key[len(_PARAM_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_PARAM_PREFIX)
+        }
+    if header.get("format") != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {header.get('format')!r} "
+            f"(this code reads format {CHECKPOINT_FORMAT_VERSION})"
+        )
+    model = build_model(header["model"])
+    model.load_state_dict(state)
+    model.eval()
+    encoder = build_encoder(header["encoder"]) if header.get("encoder") else None
+    return model, encoder, header.get("metadata", {})

@@ -1,0 +1,32 @@
+"""Small cross-subsystem utilities."""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write(path: PathLike, data: bytes) -> None:
+    """Publish ``data`` at ``path`` via a uniquely named temp file + rename.
+
+    Concurrent writers sharing a directory can both publish the same path:
+    last writer wins via ``os.replace`` and a reader can never observe a
+    half-written file.  Used by the experiment cache, model checkpoints and
+    the serving registry for every on-disk publish.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.stem[:8]}-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise

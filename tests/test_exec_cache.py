@@ -155,3 +155,121 @@ def _fake_record(config):
     from types import SimpleNamespace
 
     return SimpleNamespace(config=config)
+
+
+class TestInspectionAndSweep:
+    def _store_n(self, tmp_path, config, n):
+        cache = ExperimentCache(tmp_path)
+        keys = []
+        for i in range(n):
+            cell = config.with_overrides(seed=100 + i)
+            key = cache.key(cell)
+            cache.store(key, _fake_record(cell))
+            keys.append(key)
+        return cache, keys
+
+    def test_entries_report_size_and_summary(self, tmp_path, config):
+        cache, keys = self._store_n(tmp_path, config, 2)
+        entries = cache.entries()
+        assert {entry.key for entry in entries} == set(keys)
+        assert all(entry.size_bytes > 0 for entry in entries)
+        assert all("surrogate=" in entry.summary and "scale=smoke" in entry.summary for entry in entries)
+        assert cache.total_bytes() == sum(entry.size_bytes for entry in entries)
+
+    def test_no_temp_files_left_behind(self, tmp_path, config):
+        cache, _ = self._store_n(tmp_path, config, 3)
+        assert not list(cache.root.rglob("*.tmp"))
+
+    def test_sweep_evicts_least_recently_used_first(self, tmp_path, config):
+        import os
+        import time
+
+        cache, keys = self._store_n(tmp_path, config, 3)
+        # Age the files artificially (mtime resolution), oldest first.
+        now = time.time()
+        for age, key in zip((300, 200, 100), keys):
+            os.utime(cache.path_for(key), (now - age, now - age))
+        # Touch the oldest via a hit: it becomes the most recently used.
+        assert cache.load(keys[0]) is not None
+
+        entry_size = cache.total_bytes() // 3
+        evicted = cache.sweep(max_bytes=entry_size + 1)  # keep exactly one
+        evicted_keys = [entry.key for entry in evicted]
+        assert keys[0] not in evicted_keys, "a cache hit must protect an entry from LRU eviction"
+        assert set(evicted_keys) == {keys[1], keys[2]}
+        assert len(cache) == 1 and cache.contains(keys[0])
+
+    def test_sweep_within_budget_is_a_no_op(self, tmp_path, config):
+        cache, _ = self._store_n(tmp_path, config, 2)
+        assert cache.sweep(max_bytes=cache.total_bytes()) == []
+        assert len(cache) == 2
+
+    def test_sweep_zero_clears_everything(self, tmp_path, config):
+        cache, _ = self._store_n(tmp_path, config, 2)
+        assert len(cache.sweep(max_bytes=0)) == 2
+        assert len(cache) == 0
+
+    def test_remove_single_entry(self, tmp_path, config):
+        cache, keys = self._store_n(tmp_path, config, 1)
+        assert cache.remove(keys[0]) is True
+        assert cache.remove(keys[0]) is False
+        assert not cache.path_for(keys[0]).with_suffix(".json").exists()
+
+
+class TestCli:
+    def _populated(self, tmp_path, config, n=2):
+        cache = ExperimentCache(tmp_path)
+        for i in range(n):
+            cell = config.with_overrides(seed=200 + i)
+            cache.store(cache.key(cell), _fake_record(cell))
+        return cache
+
+    def test_inspect_lists_entries(self, tmp_path, config, capsys):
+        from repro.exec.cli import main
+
+        self._populated(tmp_path, config)
+        assert main(["--root", str(tmp_path), "inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "2 records" in out
+        assert "surrogate=" in out
+
+    def test_inspect_empty_cache(self, tmp_path, capsys):
+        from repro.exec.cli import main
+
+        assert main(["--root", str(tmp_path), "inspect"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_clear_removes_records(self, tmp_path, config, capsys):
+        from repro.exec.cli import main
+
+        cache = self._populated(tmp_path, config)
+        assert main(["--root", str(tmp_path), "clear"]) == 0
+        assert "removed 2 records" in capsys.readouterr().out
+        assert len(cache) == 0
+
+    def test_sweep_respects_budget(self, tmp_path, config, capsys):
+        from repro.exec.cli import main
+
+        cache = self._populated(tmp_path, config, n=3)
+        per_entry_mb = (cache.total_bytes() / 3) / (1024 * 1024)
+        assert main(["--root", str(tmp_path), "sweep", "--max-mb", str(per_entry_mb * 1.5)]) == 0
+        assert "evicted 2 records" in capsys.readouterr().out
+        assert len(cache) == 1
+
+    def test_module_entry_point_runs(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.exec", "--root", str(tmp_path), "inspect"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "empty" in proc.stdout

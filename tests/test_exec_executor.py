@@ -219,3 +219,42 @@ class TestSweepFrontEnds:
         again = run_encoding_ablation(encoders=("direct", "rate"), base_config=base, cache=cache)
         for name in ("direct", "rate"):
             _assert_records_identical(first.records[name], again.records[name])
+
+
+class TestFailureTransport:
+    """Failures travel as traceback text, never as live exception objects."""
+
+    def test_failure_raises_cell_execution_error_with_label(self, micro_configs, monkeypatch):
+        from repro.exec import CellExecutionError
+
+        def _boom(*args, **kwargs):
+            raise ValueError("bad hyperparameters")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _boom)
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiments(micro_configs[:1], workers=1)
+        assert excinfo.value.label == micro_configs[0].describe()
+        assert "ValueError: bad hyperparameters" in excinfo.value.traceback
+        assert "Traceback" in str(excinfo.value)
+
+    def test_unpicklable_exception_is_attributed_not_opaque(self, micro_configs, monkeypatch):
+        """An exception holding unpicklable state must not surface as
+        multiprocessing's MaybeEncodingError: only its traceback crosses."""
+        from repro.exec import CellExecutionError
+
+        class Unpicklable(RuntimeError):
+            def __init__(self, message):
+                super().__init__(message)
+                self.callback = lambda: None  # lambdas never pickle
+
+        def _boom(config, **kwargs):
+            raise Unpicklable(f"exploded on {config.describe()}")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _boom)
+        events = []
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiments(micro_configs[:2], workers=2, progress=events.append)
+        assert "Unpicklable" in excinfo.value.traceback
+        errors = [e for e in events if e.kind == "error"]
+        assert errors and errors[0].label == micro_configs[errors[0].index].describe()
+        assert "Traceback" in errors[0].error

@@ -1,0 +1,275 @@
+"""Serving layer: registry round-trips, micro-batching equivalence, telemetry."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import make_dataset, make_encoder, make_model
+from repro.encoding import DirectEncoder
+from repro.hardware.report import format_measured_vs_modeled
+from repro.runtime import CompiledNetworkPool, compile_network
+from repro.serve import (
+    InferenceServer,
+    ModelRegistry,
+    RegistryError,
+    ServeTelemetry,
+    ServerClosed,
+    format_telemetry,
+    train_and_register,
+)
+from repro.serve.telemetry import RequestStat
+
+
+@pytest.fixture
+def micro_config(micro_scale) -> ExperimentConfig:
+    return ExperimentConfig(scale=micro_scale, seed=0)
+
+
+@pytest.fixture
+def untrained(micro_config):
+    """Model + encoder + test images without the cost of training."""
+    model = make_model(micro_config)
+    model.eval()
+    encoder = make_encoder(micro_config)
+    _, test_loader = make_dataset(micro_config)
+    images = []
+    for batch_images, _ in test_loader:
+        images.extend(list(batch_images))
+    return model, encoder, images
+
+
+class TestModelRegistry:
+    def test_save_load_round_trip_with_meta(self, tmp_path, micro_config, untrained):
+        model, encoder, _ = untrained
+        registry = ModelRegistry(tmp_path)
+        registry.save(
+            "cnn-a", model, encoder, config=micro_config, accuracy=0.5,
+            hardware={"fps": 100.0, "latency_ms": 1.0}, metadata={"note": "hi"},
+        )
+        assert registry.names() == ["cnn-a"]
+        assert "cnn-a" in registry
+
+        entry = registry.load("cnn-a")
+        assert entry.meta["accuracy"] == 0.5
+        assert entry.modeled_hardware() == {"fps": 100.0, "latency_ms": 1.0}
+        assert entry.meta["metadata"] == {"note": "hi"}
+        assert entry.meta["config"]["beta"] == micro_config.beta
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(entry.model.state_dict()[name], value)
+
+    def test_unknown_name_raises(self, tmp_path):
+        with pytest.raises(RegistryError, match="no model named"):
+            ModelRegistry(tmp_path).load("ghost")
+
+    def test_invalid_names_rejected(self, tmp_path, untrained):
+        model, encoder, _ = untrained
+        registry = ModelRegistry(tmp_path)
+        for bad in ("../escape", "", ".hidden", "a/b"):
+            with pytest.raises(RegistryError):
+                registry.save(bad, model, encoder)
+        assert "../escape" not in registry
+
+    def test_remove(self, tmp_path, untrained):
+        model, encoder, _ = untrained
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model, encoder)
+        assert registry.remove("m") is True
+        assert registry.remove("m") is False
+        assert registry.names() == []
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REGISTRY_DIR", str(tmp_path / "models"))
+        assert ModelRegistry().root == tmp_path / "models"
+
+    def test_train_and_register_publishes_hardware_report(self, tmp_path, micro_config):
+        registry = ModelRegistry(tmp_path)
+        entry = train_and_register(registry, "trained", micro_config)
+        stored = registry.load("trained")
+        assert stored.modeled_hardware() is not None
+        assert stored.modeled_hardware()["fps"] == pytest.approx(entry.meta["hardware"]["fps"])
+        assert stored.encoder is not None
+        # The stored model serves the same predictions as the live one.
+        _, test_loader = make_dataset(micro_config)
+        images, _ = next(iter(test_loader))
+        spikes = DirectEncoder(num_steps=micro_config.scale.num_steps)(images)
+        live = compile_network(entry.model).run(spikes, record_activity=False).counts
+        reloaded = compile_network(stored.model).run(spikes, record_activity=False).counts
+        np.testing.assert_array_equal(live, reloaded)
+
+
+class TestCompiledNetworkPool:
+    def test_reuses_idle_plans(self, untrained):
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model, max_idle=2)
+        with pool.acquire() as first:
+            pass
+        with pool.acquire() as second:
+            assert second is first
+        assert pool.compiled_count == 1
+
+    def test_concurrent_checkouts_get_distinct_plans(self, untrained):
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model, max_idle=2)
+        with pool.acquire() as a, pool.acquire() as b:
+            assert a is not b
+        assert pool.compiled_count == 2
+
+    def test_max_idle_bounds_retention(self, untrained):
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model, max_idle=1)
+        with pool.acquire(), pool.acquire(), pool.acquire():
+            pass
+        assert pool.idle_count == 1
+
+
+class TestInferenceServer:
+    def test_predictions_bit_identical_to_runtime(self, untrained):
+        """Pre-submitted FIFO chunks == evaluate_with_runtime on the same batches."""
+        model, encoder, images = untrained
+        max_batch = 3
+        server = InferenceServer(model, encoder, max_batch=max_batch, max_wait_ms=50.0)
+        futures = server.submit_many(images)  # queued before start: deterministic chunks
+        server.start()
+        results = [future.result(timeout=30) for future in futures]
+        server.stop()
+
+        plan = compile_network(model)
+        reference_encoder = type(encoder)(num_steps=encoder.num_steps, seed=encoder.seed)
+        reference = []
+        for start in range(0, len(images), max_batch):
+            spikes = reference_encoder(np.stack(images[start : start + max_batch]))
+            reference.append(plan.run(spikes, record_activity=False).counts)
+        reference = np.concatenate(reference)
+
+        served = np.stack([result.counts for result in results])
+        np.testing.assert_array_equal(served, reference)
+        assert [r.prediction for r in results] == list(reference.argmax(axis=1))
+
+    def test_coalesces_up_to_max_batch(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=100.0)
+        futures = server.submit_many(images[:8])
+        server.start()
+        sizes = [future.result(timeout=30).batch_size for future in futures]
+        server.stop()
+        assert sizes == [4] * 8
+
+    def test_single_request_latency_mode(self, untrained):
+        """max_batch=1 serves each request alone regardless of queue depth."""
+        model, encoder, images = untrained
+        with InferenceServer(model, encoder, max_batch=1, max_wait_ms=0.0) as server:
+            results = [f.result(timeout=30) for f in server.submit_many(images[:5])]
+        assert all(result.batch_size == 1 for result in results)
+
+    def test_concurrent_clients_all_served(self, untrained):
+        model, encoder, images = untrained
+        outcomes = []
+        lock = threading.Lock()
+        with InferenceServer(model, encoder, max_batch=4, max_wait_ms=1.0, workers=2) as server:
+
+            def client(image):
+                result = server.submit(image).result(timeout=30)
+                with lock:
+                    outcomes.append(result.prediction)
+
+            threads = [threading.Thread(target=client, args=(img,)) for img in images]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(outcomes) == len(images)
+
+    def test_submit_after_stop_raises(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder).start()
+        server.stop()
+        with pytest.raises(ServerClosed):
+            server.submit(images[0])
+
+    def test_stop_without_drain_fails_queued_requests(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=4)
+        futures = server.submit_many(images[:4])  # never started
+        server.stop(drain=False)
+        for future in futures:
+            with pytest.raises(ServerClosed):
+                future.result(timeout=5)
+
+    def test_encoder_errors_surface_at_submit(self, untrained):
+        model, encoder, _ = untrained
+        with InferenceServer(model, encoder) as server:
+            with pytest.raises(ValueError, match="normalised"):
+                server.submit(np.full((3, 8, 8), 9.0, dtype=np.float32))
+
+    def test_telemetry_counts_requests_and_activity(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=50.0)
+        futures = server.submit_many(images[:8])
+        server.start()
+        for future in futures:
+            future.result(timeout=30)
+        server.stop()
+        telemetry = server.telemetry
+        assert telemetry.total_requests == 8
+        assert telemetry.total_batches == 2
+        assert telemetry.activity is not None and telemetry.activity.samples == 8
+        summary = telemetry.summary()
+        assert summary["p50_ms"] > 0
+        assert summary["achieved_fps"] > 0
+        assert 0 < summary["mean_input_density"] <= 1.0
+        assert telemetry.measured_firing_rates()  # at least one spiking layer keyed
+
+
+class TestTelemetryMath:
+    def test_percentiles_over_window(self):
+        telemetry = ServeTelemetry(window=100)
+        stats = [
+            RequestStat(latency_ms=float(i), queue_ms=0.0, batch_size=1, input_density=0.5)
+            for i in range(1, 101)
+        ]
+        telemetry.record_batch(stats, None, first_submit=0.0, done=1.0)
+        pct = telemetry.latency_percentiles()
+        assert pct["p50_ms"] == pytest.approx(50.5)
+        assert pct["p99_ms"] == pytest.approx(np.percentile(np.arange(1.0, 101.0), 99))
+        assert telemetry.achieved_fps() == pytest.approx(100.0)
+
+    def test_empty_telemetry_is_nan_and_zero(self):
+        telemetry = ServeTelemetry()
+        assert np.isnan(telemetry.latency_percentiles()["p50_ms"])
+        assert telemetry.achieved_fps() == 0.0
+        assert telemetry.measured_firing_rates() == {}
+
+    def test_format_helpers_render(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=10.0)
+        futures = server.submit_many(images[:4])
+        server.start()
+        for future in futures:
+            future.result(timeout=30)
+        server.stop()
+        text = format_telemetry(server.telemetry.summary())
+        assert "achieved fps" in text and "latency p99" in text
+        comparison = server.telemetry.hardware_comparison(model.layer_specs())
+        assert comparison["modeled_fps"] > 0
+        assert comparison["measured_fps"] > 0
+        rendered = format_measured_vs_modeled(comparison)
+        assert "throughput (measured)" in rendered and "modeled" in rendered
+
+    def test_hardware_comparison_falls_back_to_stored_report(self):
+        telemetry = ServeTelemetry()
+        telemetry.record_batch(
+            [RequestStat(latency_ms=2.0, queue_ms=0.5, batch_size=1, input_density=0.1)],
+            None,
+            first_submit=0.0,
+            done=0.002,
+        )
+        comparison = telemetry.hardware_comparison(
+            [], modeled={"fps": 1000.0, "latency_ms": 0.5}
+        )
+        assert comparison["modeled_fps"] == 1000.0
+        assert comparison["fps_ratio"] == pytest.approx(comparison["measured_fps"] / 1000.0)
