@@ -1,6 +1,6 @@
-"""Benchmark — serving layer: micro-batched vs serial, open-loop latency.
+"""Benchmark — serving layer: micro-batched vs serial, open-loop, overload.
 
-Load-tests :mod:`repro.serve` end to end on a freshly trained model:
+Load-tests :mod:`repro.serve` end to end on freshly trained models:
 
 1. **Serial baseline** — closed loop, one client, ``max_batch=1``: every
    request is encoded, dispatched and served alone.  This is the
@@ -14,17 +14,26 @@ Load-tests :mod:`repro.serve` end to end on a freshly trained model:
    capacity, the realistic regime where latency percentiles mean something:
    requests wait at most ``max_wait_ms`` for company, so p50/p99 reflect
    batching delay + service time rather than queue explosion.
+4. **Gateway overload** (``test_serve_gateway_overload``) — two registered
+   models behind one :class:`~repro.serve.ServeGateway` with shed-mode
+   admission control, driven open-loop at **>= 2x** measured capacity.
+   The queue-depth high-water mark must stay at or under ``max_queue``
+   and (full mode) the admitted-request p99 must stay bounded by the
+   worst-case drain time of one full queue — overload sheds load, it does
+   not melt latency for the requests that were accepted.
 
 Every leg reports through :class:`repro.serve.ServeTelemetry`; the
 measured achieved fps is recorded next to the accelerator model's
 prediction for the *same measured spike traffic* (see
 ``format_measured_vs_modeled``).  Results go to
 ``benchmarks/results/measured.json`` (headline) and
-``benchmarks/results/BENCH_serve.json`` (full detail).
+``benchmarks/results/BENCH_serve.json`` (one section per scenario —
+``microbatch`` and ``gateway_overload``; see ``docs/BENCHMARKS.md``).
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 import numpy as np
@@ -35,13 +44,42 @@ from repro.core.config import ExperimentConfig, SCALE_PRESETS
 from repro.core.experiment import make_dataset
 from repro.hardware.report import format_measured_vs_modeled
 from repro.runtime import compile_network
-from repro.serve import InferenceServer, ModelRegistry, format_telemetry, train_and_register
+from repro.serve import (
+    InferenceServer,
+    ModelRegistry,
+    ServeGateway,
+    ServerOverloaded,
+    format_gateway_summary,
+    format_telemetry,
+    train_and_register,
+)
 
 #: Micro-batch size for the batched legs (the serial leg always uses 1).
 MAX_BATCH = 32
 
 #: Open-loop arrival rate as a fraction of measured micro-batched capacity.
 OPEN_LOOP_LOAD = 0.6
+
+#: Admission-control queue cap for the gateway overload scenario.
+GATEWAY_MAX_QUEUE = 16
+
+#: Overload arrival rate as a multiple of measured gateway capacity (>= 2x).
+OVERLOAD_FACTOR = 2.2
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Merge one scenario's metrics into ``BENCH_serve.json`` (keyed by section)."""
+    path = RESULTS_DIR / "BENCH_serve.json"
+    doc = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                doc = loaded
+        except (OSError, ValueError):
+            doc = {}
+    doc[section] = payload
+    save_json(doc, path)
 
 
 def _collect_images(config: ExperimentConfig, count: int):
@@ -205,9 +243,8 @@ def test_serve_microbatch_throughput(benchmark, bench_smoke, repro_scale, result
         "modeled_latency_ms": comparison["modeled_latency_ms"],
     }
     results_store.add("serve", f"scale={scale.name}_{mode}", metrics)
-    save_json(
-        {"experiment": "serve", "mode": mode, "scale": scale.name, **metrics},
-        RESULTS_DIR / "BENCH_serve.json",
+    _update_bench_json(
+        "microbatch", {"experiment": "serve", "mode": mode, "scale": scale.name, **metrics}
     )
 
     # Micro-batching must always win; the hard 3x acceptance bar is quoted
@@ -216,3 +253,126 @@ def test_serve_microbatch_throughput(benchmark, bench_smoke, repro_scale, result
     assert speedup > 1.0, f"micro-batching should beat serial, got {speedup:.2f}x"
     if not bench_smoke:
         assert speedup >= 3.0, f"expected >=3x micro-batched throughput, got {speedup:.2f}x"
+
+
+def test_serve_gateway_overload(benchmark, bench_smoke, repro_scale, results_store, tmp_path):
+    """Two-model gateway under open-loop overload with shed admission control.
+
+    Capacity is measured first with a closed-loop burst alternating between
+    both models; the overload leg then drives Poisson arrivals at
+    ``OVERLOAD_FACTOR`` (>= 2x) of that capacity against a gateway whose
+    per-model queues are capped at ``GATEWAY_MAX_QUEUE``.  Surplus arrivals
+    shed with :class:`ServerOverloaded`; the acceptance criteria are that
+    the queue-depth high-water mark never exceeds the cap and (full mode)
+    that the admitted-request p99 stays under three worst-case drain times
+    of one full queue — i.e. overload degrades *availability* (sheds), not
+    the latency of admitted traffic.
+    """
+    if bench_smoke:
+        scale = SCALE_PRESETS["smoke"]
+        burst, arrivals = 32, 120
+    else:
+        scale = repro_scale
+        burst, arrivals = 128, 480
+    config_a = ExperimentConfig(scale=scale, label="gateway-a")
+    config_b = ExperimentConfig(scale=scale, beta=0.5, threshold=1.5, label="gateway-b")
+
+    registry = ModelRegistry(tmp_path / "registry")
+    train_and_register(registry, "model-a", config_a)
+    train_and_register(registry, "model-b", config_b)
+    images = _collect_images(config_a, max(burst, 64))
+    names = ("model-a", "model-b")
+
+    def run():
+        # Closed-loop capacity: saturate both per-model servers at once.
+        with ServeGateway(registry, max_batch=MAX_BATCH, max_wait_ms=5.0) as warm:
+            start = time.perf_counter()
+            futures = [
+                warm.submit(names[i % 2], images[i % len(images)]) for i in range(burst)
+            ]
+            for future in futures:
+                future.result(timeout=300)
+            capacity_fps = burst / (time.perf_counter() - start)
+
+        # Open-loop overload: Poisson arrivals beyond capacity, queue capped.
+        gateway = ServeGateway(
+            registry,
+            max_batch=MAX_BATCH,
+            max_wait_ms=5.0,
+            max_queue=GATEWAY_MAX_QUEUE,
+            overload="shed",
+        )
+        rng = np.random.default_rng(7)
+        rate = capacity_fps * OVERLOAD_FACTOR
+        admitted = []
+        next_arrival = time.perf_counter()
+        for i in range(arrivals):
+            next_arrival += rng.exponential(1.0 / rate)
+            delay = next_arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                admitted.append(gateway.submit(names[i % 2], images[i % len(images)]))
+            except ServerOverloaded:
+                pass  # counted by the per-model telemetry
+        for future in admitted:
+            future.result(timeout=300)
+        summary = gateway.summary()
+        gateway.stop()
+        return capacity_fps, len(admitted), summary
+
+    capacity_fps, admitted_count, summary = run_once(benchmark, run)
+    totals = summary["totals"]
+    shed_count = int(totals["shed"])
+    high_water = int(totals["queue_high_water"])
+    p99_by_model = {
+        name: per_model["p99_ms"] for name, per_model in summary["models"].items()
+    }
+    worst_p99_ms = max(p99_by_model.values())
+    # Worst case for an admitted request: a full per-model queue ahead of it,
+    # drained at that model's share of measured capacity, with 3x slack for
+    # scheduling noise on a loaded box.
+    p99_bound_ms = 3000.0 * (GATEWAY_MAX_QUEUE + MAX_BATCH) / (capacity_fps / len(names))
+
+    mode = "smoke" if bench_smoke else "full"
+    print()
+    print(
+        f"[gateway] {arrivals} arrivals at {OVERLOAD_FACTOR:.1f}x capacity "
+        f"({capacity_fps:.1f} req/s), max_queue={GATEWAY_MAX_QUEUE}, mode={mode}"
+    )
+    print(
+        f"  admitted {admitted_count}   shed {shed_count}   "
+        f"queue high-water {high_water}   p99 {worst_p99_ms:.1f} ms (bound {p99_bound_ms:.1f} ms)"
+    )
+    print(format_gateway_summary(summary))
+
+    metrics = {
+        "arrivals": arrivals,
+        "overload_factor": OVERLOAD_FACTOR,
+        "capacity_fps": capacity_fps,
+        "max_queue": GATEWAY_MAX_QUEUE,
+        "admitted": admitted_count,
+        "shed": shed_count,
+        "queue_high_water": high_water,
+        "admitted_p99_ms": worst_p99_ms,
+        "admitted_p99_bound_ms": p99_bound_ms,
+        "per_model": summary["models"],
+    }
+    results_store.add("serve_gateway", f"scale={scale.name}_{mode}", metrics)
+    _update_bench_json(
+        "gateway_overload",
+        {"experiment": "serve_gateway", "mode": mode, "scale": scale.name, **metrics},
+    )
+
+    # The cap is the contract: open-loop overload must never grow a queue
+    # past it, in either mode.
+    assert high_water <= GATEWAY_MAX_QUEUE, (
+        f"queue depth {high_water} exceeded the configured cap {GATEWAY_MAX_QUEUE}"
+    )
+    assert admitted_count + shed_count == arrivals
+    assert totals["admitted"] == admitted_count
+    if not bench_smoke:
+        assert shed_count > 0, "2x overload should shed at this queue cap"
+        assert worst_p99_ms <= p99_bound_ms, (
+            f"admitted p99 {worst_p99_ms:.1f} ms blew the bound {p99_bound_ms:.1f} ms"
+        )

@@ -228,12 +228,15 @@ class ExperimentCache:
 
     # ------------------------------------------------------------------ #
     def key(self, config: "ExperimentConfig", accelerator: Any = None, use_runtime: bool = True) -> str:
+        """The content key a record for this configuration is stored under."""
         return experiment_cache_key(config, accelerator=accelerator, use_runtime=use_runtime)
 
     def path_for(self, key: str) -> Path:
+        """On-disk pickle path for ``key`` (``<root>/<key[:2]>/<key>.pkl``)."""
         return self.root / key[:2] / f"{key}.pkl"
 
     def contains(self, key: str) -> bool:
+        """Whether a record is stored under ``key`` (no unpickling)."""
         return self.path_for(key).exists()
 
     # ------------------------------------------------------------------ #

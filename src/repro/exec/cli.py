@@ -51,6 +51,7 @@ def _print_entries(entries: List[CacheEntry], now: Optional[float] = None) -> No
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``python -m repro.exec`` cache CLI."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.exec",
         description="Inspect and manage the experiment result cache.",
@@ -69,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the cache CLI; returns the process exit code."""
     args = build_parser().parse_args(argv)
     cache = ExperimentCache(args.root)
 

@@ -29,6 +29,7 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
@@ -259,6 +260,17 @@ def run_experiments(
     if pending:
         payloads = [(i, configs[i], accelerator, use_runtime, verbose) for i in pending]
         nworkers = min(resolve_workers(workers), len(pending))
+        if nworkers > 1 and not fork_available():
+            # Results are identical either way (determinism is per-cell),
+            # but the wall-clock expectation is not — say so instead of
+            # silently running an N-worker sweep on one core.
+            warnings.warn(
+                f"requested {nworkers} sweep workers, but the 'fork' start method is "
+                "unavailable on this platform; running serially in this process "
+                "(a 'spawn' pool fallback is a ROADMAP item)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if nworkers > 1 and fork_available():
             for i in pending:
                 emit("start", i)

@@ -117,17 +117,27 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values previously captured by :meth:`state_dict`."""
+        """Load parameter values previously captured by :meth:`state_dict`.
+
+        All-or-nothing: every key and shape is validated before any
+        parameter is written, so a mismatched state dict raises without
+        leaving the model half-updated (live consumers such as
+        :class:`~repro.runtime.pool.CompiledNetworkPool` rely on never
+        observing torn weights).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state_dict mismatch; missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        converted = {}
         for name, param in own.items():
             value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(f"shape mismatch for '{name}': {value.shape} vs {param.shape}")
-            param.data[...] = value
+            converted[name] = value
+        for name, param in own.items():
+            param.data[...] = converted[name]
 
     # ------------------------------------------------------------------ #
     # Calling

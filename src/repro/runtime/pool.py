@@ -11,14 +11,20 @@ recompiled.
 
 Every pooled plan compiles from the *same* model, whose parameter arrays
 the kernels reference live — an in-place ``load_state_dict`` on the model
-updates every plan in the pool at once.
+updates every plan in the pool at once.  :meth:`CompiledNetworkPool.update_weights`
+wraps that swap in a quiesce barrier: new checkouts block, outstanding
+plans finish their batch, the weights are replaced atomically with respect
+to batch boundaries, and serving resumes — no batch ever runs on a torn
+mixture of old and new weights.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator, List
+from typing import Dict, Iterator, List
+
+import numpy as np
 
 from repro.nn.module import Module
 from repro.runtime.engine import CompiledNetwork, compile_network
@@ -52,12 +58,21 @@ class CompiledNetworkPool:
         self.max_idle = int(max_idle)
         self.compiled_count = 0
         self._idle: List[CompiledNetwork] = []
-        self._lock = threading.Lock()
+        self._cv = threading.Condition()
+        self._checked_out = 0
+        self._updating = False
 
     @property
     def idle_count(self) -> int:
-        with self._lock:
+        """Number of warmed plans currently waiting for a checkout."""
+        with self._cv:
             return len(self._idle)
+
+    @property
+    def checked_out(self) -> int:
+        """Number of plans currently on loan (batches in flight)."""
+        with self._cv:
+            return self._checked_out
 
     @contextmanager
     def acquire(self) -> Iterator[CompiledNetwork]:
@@ -65,20 +80,53 @@ class CompiledNetworkPool:
 
         The plan's own :meth:`CompiledNetwork.run` resets membrane state at
         the start of every call, so a reused plan carries no residue from
-        the previous batch.
+        the previous batch.  Checkouts block while a weight swap
+        (:meth:`update_weights`) is in progress.
         """
-        with self._lock:
+        with self._cv:
+            while self._updating:
+                self._cv.wait()
             plan = self._idle.pop() if self._idle else None
+            self._checked_out += 1
         if plan is None:
             plan = compile_network(self.model)
-            with self._lock:
+            with self._cv:
                 self.compiled_count += 1
         try:
             yield plan
         finally:
-            with self._lock:
+            with self._cv:
+                self._checked_out -= 1
                 if len(self._idle) < self.max_idle:
                     self._idle.append(plan)
+                self._cv.notify_all()
+
+    def update_weights(self, state: Dict[str, np.ndarray]) -> None:
+        """Swap the pooled model's weights in place, between batches.
+
+        Blocks new checkouts, waits for every outstanding plan to be
+        returned, then applies ``model.load_state_dict(state)``.  Because
+        all pooled plans reference the model's parameter arrays live (and
+        refresh any layout snapshots in ``Kernel.prepare`` at the start of
+        each run), every plan serves the new weights from its next batch
+        onward — the hot-reload primitive behind
+        :meth:`repro.serve.gateway.ServeGateway` republish pickup.
+
+        Raises whatever :meth:`~repro.nn.module.Module.load_state_dict`
+        raises on a mismatched state dict (the pool is left serving the old
+        weights, checkouts unblocked).
+        """
+        with self._cv:
+            while self._updating:
+                self._cv.wait()
+            self._updating = True
+            try:
+                while self._checked_out > 0:
+                    self._cv.wait()
+                self.model.load_state_dict(state)
+            finally:
+                self._updating = False
+                self._cv.notify_all()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,4 +1,4 @@
-"""Micro-batched inference serving on top of the event-driven runtime.
+"""Micro-batched, multi-model inference serving on top of the runtime.
 
 The papers this repo reproduces argue that surrogate/beta/theta tuning pays
 off *at deployment time* — on hardware serving real inference traffic.
@@ -6,8 +6,8 @@ This package is that deployment surface:
 
 * :class:`~repro.serve.registry.ModelRegistry` persists trained models as
   single-file checkpoints (weights + architecture + encoder spec + the
-  modeled hardware report) and hands them back compiled through
-  :func:`repro.runtime.compile_network`, with a
+  modeled hardware report + a monotonic publish ``version``) and hands
+  them back compiled through :func:`repro.runtime.compile_network`, with a
   :class:`~repro.runtime.pool.CompiledNetworkPool` of reusable plans per
   model.  :func:`~repro.serve.registry.train_and_register` bridges straight
   from an :class:`~repro.core.config.ExperimentConfig` to a servable entry.
@@ -16,22 +16,40 @@ This package is that deployment surface:
   requests into micro-batches (``max_batch`` / ``max_wait_ms``), dispatches
   them across a worker pool, and demultiplexes per-request predictions —
   bit-identical to offline ``evaluate_with_runtime`` on the same batches.
+  ``max_queue`` / ``overload`` add admission control: surplus arrivals are
+  shed fail-fast (:class:`~repro.serve.scheduler.ServerOverloaded`) or
+  back-pressured in FIFO order.
+* :class:`~repro.serve.gateway.ServeGateway` routes *named-model* requests
+  across registry entries — one lazily started server per active model —
+  and hot-reloads weights in place when a model is republished, without
+  restarting or dropping queued work.
 * :class:`~repro.serve.telemetry.ServeTelemetry` measures what the hardware
-  models predict: p50/p95/p99 latency, achieved fps, and per-layer spike
-  activity, and renders measured-vs-modeled comparisons via
+  models predict: p50/p95/p99 latency, achieved fps, per-layer spike
+  activity, plus admission-control counters (admitted/shed, queue-depth
+  high-water mark), and renders measured-vs-modeled comparisons via
   :func:`repro.hardware.report.format_measured_vs_modeled`.
 
 ``benchmarks/bench_serve.py`` load-tests the stack in closed- and open-loop
-arrival modes; ``examples/serve_quickstart.py`` is the runnable tour.
+arrival modes (including gateway overload beyond capacity);
+``examples/serve_quickstart.py`` is the runnable tour.  Architecture notes:
+``docs/ARCHITECTURE.md``.
 """
 
+from repro.serve.gateway import ServeGateway, format_gateway_summary
 from repro.serve.registry import (
     ModelRegistry,
     RegisteredModel,
     RegistryError,
     train_and_register,
 )
-from repro.serve.scheduler import InferenceServer, ServeResult, ServerClosed
+from repro.serve.scheduler import (
+    OVERLOAD_BLOCK,
+    OVERLOAD_SHED,
+    InferenceServer,
+    ServeResult,
+    ServerClosed,
+    ServerOverloaded,
+)
 from repro.serve.telemetry import RequestStat, ServeTelemetry, format_telemetry
 
 __all__ = [
@@ -40,9 +58,14 @@ __all__ = [
     "RegistryError",
     "train_and_register",
     "InferenceServer",
+    "ServeGateway",
     "ServeResult",
     "ServerClosed",
+    "ServerOverloaded",
+    "OVERLOAD_SHED",
+    "OVERLOAD_BLOCK",
     "RequestStat",
     "ServeTelemetry",
     "format_telemetry",
+    "format_gateway_summary",
 ]

@@ -1,0 +1,390 @@
+"""Multi-model serving gateway: named routing, hot-reload, admission control.
+
+:class:`~repro.serve.scheduler.InferenceServer` serves exactly one model.
+:class:`ServeGateway` completes the deployment story by putting a routing
+front-end over a :class:`~repro.serve.registry.ModelRegistry`:
+
+* **Named-model routing** — ``gateway.submit("digits-v2", image)`` lazily
+  spins up one micro-batching :class:`InferenceServer` (with its own
+  :class:`~repro.runtime.pool.CompiledNetworkPool` and
+  :class:`~repro.serve.telemetry.ServeTelemetry`) per active model and
+  keeps it warm for subsequent requests.
+* **Hot-reload on republish** — every submit cheaply checks the registry
+  checkpoint's stat signature; when a newer version has been published the
+  gateway reloads the checkpoint and swaps the weights *in place* through
+  :meth:`~repro.runtime.pool.CompiledNetworkPool.update_weights`.  The
+  swap waits only for in-flight batches (queued work is not dropped) and
+  the compiled kernels reference the parameter arrays live, so the next
+  batch serves the new weights — bit-identical to a fresh server loaded
+  from the new checkpoint.  A republish that changes the *architecture*
+  (or any non-weight hyperparameter, e.g. ``beta``) cannot be patched in
+  place; the gateway then drains the old server and stands up a fresh one.
+* **Admission control** — ``max_queue`` / ``overload`` are forwarded to
+  every per-model server: ``"shed"`` fails surplus submits fast with
+  :class:`~repro.serve.scheduler.ServerOverloaded`, ``"block"`` applies
+  FIFO back-pressure.  Shed counts, admitted counts and queue-depth
+  high-water marks appear in each model's telemetry and in the gateway's
+  aggregated :meth:`ServeGateway.summary`.
+
+``benchmarks/bench_serve.py`` drives a two-model gateway through open-loop
+overload; ``examples/serve_quickstart.py`` shows routing plus a live
+republish.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.pool import CompiledNetworkPool
+from repro.serve.registry import ModelRegistry, RegisteredModel, RegistryError
+from repro.serve.scheduler import (
+    OVERLOAD_SHED,
+    InferenceServer,
+    ServeResult,
+    ServerClosed,
+)
+from repro.serve.telemetry import ServeTelemetry
+from repro.training.checkpoint import load_checkpoint, model_spec
+
+
+@dataclass
+class _ActiveModel:
+    """One model the gateway is currently serving."""
+
+    name: str
+    entry: RegisteredModel
+    server: InferenceServer
+    signature: Optional[Tuple[int, int, int]]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    last_check: float = 0.0
+    reloads: int = 0
+
+
+class ServeGateway:
+    """Routes named-model requests across registry entries, one server each.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` to serve from (or
+        a path, which is wrapped in one).
+    max_batch, max_wait_ms, workers:
+        Forwarded to every per-model :class:`InferenceServer`.
+    max_queue, overload:
+        Admission control applied to every per-model server queue — see
+        :class:`InferenceServer`.  ``max_queue=None`` disables it.
+    reload_check_s:
+        Minimum seconds between republish checks per model.  ``0`` (the
+        default) checks on every submit — the check is one ``stat`` call,
+        cheap next to encoding a request.  Raise it to amortise even that
+        on very hot paths.
+
+    A model's server, compiled-plan pool and telemetry are created on the
+    first request that names it and reused afterwards; :meth:`stop` shuts
+    every active server down (draining queued work by default).  Use as a
+    context manager for automatic shutdown.
+    """
+
+    def __init__(
+        self,
+        registry: Union[ModelRegistry, str, "Any"],
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        workers: int = 1,
+        max_queue: Optional[int] = None,
+        overload: str = OVERLOAD_SHED,
+        reload_check_s: float = 0.0,
+    ) -> None:
+        if reload_check_s < 0:
+            raise ValueError(f"reload_check_s must be non-negative, got {reload_check_s}")
+        self.registry = registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.workers = int(workers)
+        self.max_queue = int(max_queue) if max_queue is not None else None
+        self.overload = overload
+        self.reload_check_s = float(reload_check_s)
+        self._active: Dict[str, _ActiveModel] = {}
+        self._creating: Dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def stop(self, drain: bool = True) -> None:
+        """Shut down every active per-model server (idempotent).
+
+        ``drain=True`` (default) finishes queued work first; ``drain=False``
+        fails queued requests with :class:`ServerClosed`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            active = list(self._active.values())
+        for model in active:
+            model.server.stop(drain=drain)
+
+    def __enter__(self) -> "ServeGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def submit(self, name: str, image: np.ndarray) -> "Future[ServeResult]":
+        """Route one raw image to the named model; returns its future.
+
+        Activates the model on first use, then (rate-limited by
+        ``reload_check_s``) checks the registry for a republish and
+        hot-reloads before enqueueing.  Raises
+        :class:`~repro.serve.registry.RegistryError` for unknown names,
+        :class:`~repro.serve.scheduler.ServerOverloaded` when shed-mode
+        admission control rejects the request, and :class:`ServerClosed`
+        after :meth:`stop`.
+        """
+        # One retry covers the benign race where a reload (architecture
+        # change) retires the server between resolution and submission.
+        for attempt in (0, 1):
+            active = self._resolve(name)
+            try:
+                return active.server.submit(image)
+            except ServerClosed:
+                if self._closed or attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def submit_many(self, name: str, images: Sequence[np.ndarray]) -> List["Future[ServeResult]"]:
+        """Submit a sequence of independent requests to one model (FIFO)."""
+        return [self.submit(name, image) for image in images]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def models(self) -> List[str]:
+        """Every model name currently publishable to this gateway."""
+        return self.registry.names()
+
+    def active_models(self) -> List[str]:
+        """Names with a live server (activated by at least one request)."""
+        with self._lock:
+            return sorted(self._active)
+
+    def version(self, name: str) -> int:
+        """The registry version the gateway is currently serving for ``name``."""
+        with self._lock:
+            active = self._active.get(name)
+        if active is None:
+            raise RegistryError(f"model {name!r} is not active on this gateway")
+        return active.entry.version
+
+    def telemetry(self, name: str) -> ServeTelemetry:
+        """The named model's live :class:`ServeTelemetry`."""
+        with self._lock:
+            active = self._active.get(name)
+        if active is None:
+            raise RegistryError(f"model {name!r} is not active on this gateway")
+        return active.server.telemetry
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregated gateway snapshot with per-model breakdowns.
+
+        Returns ``{"models": {name: per-model summary}, "totals": {...}}``
+        where each per-model summary is the server's
+        :meth:`~repro.serve.telemetry.ServeTelemetry.summary` extended with
+        ``version`` and ``reloads``, and totals roll up request, admission
+        and shed counts (queue high-water is the max across models).
+        """
+        with self._lock:
+            active = dict(self._active)
+        models: Dict[str, Dict[str, float]] = {}
+        totals = {
+            "models": float(len(active)),
+            "requests": 0.0,
+            "admitted": 0.0,
+            "shed": 0.0,
+            "reloads": 0.0,
+            "queue_high_water": 0.0,
+        }
+        for name, model in sorted(active.items()):
+            per_model = model.server.telemetry.summary()
+            per_model["version"] = float(model.entry.version)
+            per_model["reloads"] = float(model.reloads)
+            models[name] = per_model
+            totals["requests"] += per_model["requests"]
+            totals["admitted"] += per_model["admitted"]
+            totals["shed"] += per_model["shed"]
+            totals["reloads"] += float(model.reloads)
+            totals["queue_high_water"] = max(totals["queue_high_water"], per_model["queue_high_water"])
+        return {"models": models, "totals": totals}
+
+    # ------------------------------------------------------------------ #
+    # Activation and hot-reload
+    # ------------------------------------------------------------------ #
+    def _make_server(
+        self, entry: RegisteredModel, telemetry: Optional[ServeTelemetry] = None
+    ) -> InferenceServer:
+        pool = CompiledNetworkPool(entry.model, max_idle=self.workers)
+        server = InferenceServer(
+            pool,
+            entry.encoder,
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            workers=self.workers,
+            max_queue=self.max_queue,
+            overload=self.overload,
+            telemetry=telemetry,
+        )
+        return server.start()
+
+    def _creation_lock(self, name: str) -> threading.Lock:
+        with self._lock:
+            return self._creating.setdefault(name, threading.Lock())
+
+    def _resolve(self, name: str) -> _ActiveModel:
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("gateway has been stopped")
+            active = self._active.get(name)
+        if active is None:
+            # Activation does disk + compile work; serialise it per name,
+            # outside the gateway lock, so standing up one model never
+            # stalls routing to the already-active others.
+            with self._creation_lock(name):
+                with self._lock:
+                    active = self._active.get(name)
+                if active is None:
+                    # Signature BEFORE load: a publish racing the load is
+                    # then detected (and picked up) by the next reload check.
+                    signature = self.registry.checkpoint_signature(name)
+                    entry = self.registry.load(name)
+                    active = _ActiveModel(
+                        name=name,
+                        entry=entry,
+                        server=self._make_server(entry),
+                        signature=signature,
+                        last_check=time.monotonic(),
+                    )
+                    with self._lock:
+                        if self._closed:
+                            # stop() already swept _active; don't leak a
+                            # server it will never see.
+                            active.server.stop(drain=False)
+                            raise ServerClosed("gateway has been stopped")
+                        self._active[name] = active
+                    return active
+        self._maybe_reload(active)
+        return active
+
+    def refresh(self, name: str) -> bool:
+        """Force a republish check for ``name`` now; returns whether it reloaded."""
+        active = self._resolve(name)
+        reloads_before = active.reloads
+        self._maybe_reload(active, force=True)
+        return active.reloads > reloads_before
+
+    def _maybe_reload(self, active: _ActiveModel, force: bool = False) -> None:
+        """Pick up a republished checkpoint for one active model.
+
+        Holds only the model's own lock, so a reload of one model never
+        stalls routing to the others.
+        """
+        now = time.monotonic()
+        if not force and self.reload_check_s and now - active.last_check < self.reload_check_s:
+            return
+        retired: Optional[InferenceServer] = None
+        with active.lock:
+            now = time.monotonic()
+            if not force and self.reload_check_s and now - active.last_check < self.reload_check_s:
+                return
+            active.last_check = now
+            signature = self.registry.checkpoint_signature(active.name)
+            if signature is None or signature == active.signature:
+                return
+            new_model, new_encoder, checkpoint_meta = load_checkpoint(
+                self.registry.checkpoint_path(active.name)
+            )
+            meta = checkpoint_meta.get("registry") if isinstance(checkpoint_meta, dict) else None
+            # A checkpoint republished without an encoder keeps serving
+            # through the current one (requests must still be encodable).
+            encoder = new_encoder if new_encoder is not None else active.server.encoder
+            pool = active.server.pool
+            # In-place requires the compiled kernels to stay valid (same
+            # model spec) AND the timestep count to stay put: requests
+            # already encoded with the old num_steps share queues/batches
+            # with new ones, and (T, 1, ...) trains of different T cannot
+            # be coalesced.
+            same_steps = getattr(encoder, "num_steps", None) == getattr(
+                active.server.encoder, "num_steps", None
+            )
+            if same_steps and model_spec(new_model) == model_spec(pool.model):
+                # Weight-only republish: swap in place between batches.
+                # Queued requests are served with the new weights; nothing
+                # is dropped (pool.update_weights quiesces in-flight
+                # batches only).
+                pool.update_weights(new_model.state_dict())
+                active.server.encoder = encoder
+                served_model = pool.model
+            else:
+                # Architecture / hyperparameter / num_steps change: weights
+                # cannot be patched into the live kernels.  Stand up a
+                # fresh server (inheriting the model's telemetry so request
+                # counters never go backwards — but with spike activity
+                # reset, since the old network's layer activity must not
+                # blend into the new one's), route new traffic to it, and
+                # drain the old one after the lock is released.
+                entry = RegisteredModel(
+                    name=active.name, model=new_model, encoder=encoder, meta=meta or {}
+                )
+                retired = active.server
+                retired.telemetry.reset_activity()
+                active.server = self._make_server(entry, telemetry=retired.telemetry)
+                served_model = new_model
+            active.entry = RegisteredModel(
+                name=active.name,
+                model=served_model,
+                encoder=encoder,
+                meta=meta or {},
+            )
+            active.signature = signature
+            active.reloads += 1
+        if retired is not None:
+            retired.stop(drain=True)
+        with self._lock:
+            closed = self._closed
+        if closed:
+            # stop() raced this reload and swept _active before the swap
+            # landed; don't leave a freshly started server running behind a
+            # gateway the caller believes is shut down.
+            active.server.stop(drain=True)
+
+
+def format_gateway_summary(summary: Dict[str, Any], title: str = "Gateway telemetry") -> str:
+    """Render :meth:`ServeGateway.summary` as an aligned per-model table."""
+    totals = summary.get("totals", {})
+    lines = [title, "-" * len(title)]
+    header = f"  {'model':<20} {'ver':>4} {'req':>7} {'shed':>6} {'hiwater':>8} {'p99 ms':>9} {'fps':>8}"
+    lines.append(header)
+    for name, per_model in sorted(summary.get("models", {}).items()):
+        lines.append(
+            f"  {name:<20} {per_model.get('version', 0):>4.0f} "
+            f"{per_model.get('requests', 0):>7.0f} {per_model.get('shed', 0):>6.0f} "
+            f"{per_model.get('queue_high_water', 0):>8.0f} "
+            f"{per_model.get('p99_ms', float('nan')):>9.2f} "
+            f"{per_model.get('achieved_fps', 0):>8.1f}"
+        )
+    lines.append(
+        f"  totals: {totals.get('models', 0):.0f} models, "
+        f"{totals.get('requests', 0):.0f} served, {totals.get('shed', 0):.0f} shed, "
+        f"{totals.get('reloads', 0):.0f} reloads"
+    )
+    return "\n".join(lines)

@@ -37,7 +37,7 @@ from repro.exec.cache import jsonable
 from repro.utils import atomic_write
 from repro.nn.module import Module
 from repro.runtime.pool import CompiledNetworkPool
-from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.checkpoint import load_checkpoint, read_checkpoint_metadata, save_checkpoint
 
 PathLike = Union[str, Path]
 
@@ -64,14 +64,19 @@ class RegisteredModel:
         The registry meta stored inside the checkpoint: ``config`` (resolved experiment
         config as plain data), ``accuracy``, ``hardware`` (the *modeled*
         :meth:`~repro.hardware.efficiency.HardwareReport.as_dict` metrics
-        used for measured-vs-modeled serving comparisons), and caller
-        ``metadata``.
+        used for measured-vs-modeled serving comparisons), ``version``
+        (monotonic publish counter for this name), and caller ``metadata``.
     """
 
     name: str
     model: Module
     encoder: Optional[Encoder]
     meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def version(self) -> int:
+        """Monotonic publish counter (1 = first publish under this name)."""
+        return int(self.meta.get("version", 1))
 
     def modeled_hardware(self) -> Optional[Dict[str, float]]:
         """The modeled hardware metrics published with the model, if any."""
@@ -97,9 +102,11 @@ class ModelRegistry:
         return self.root / name
 
     def checkpoint_path(self, name: str) -> Path:
+        """Path of ``name``'s single-file checkpoint (the source of truth)."""
         return self._entry_dir(name) / "checkpoint.npz"
 
     def meta_path(self, name: str) -> Path:
+        """Path of ``name``'s human-readable ``meta.json`` audit sidecar."""
         return self._entry_dir(name) / "meta.json"
 
     def __contains__(self, name: str) -> bool:
@@ -107,6 +114,47 @@ class ModelRegistry:
             return self.checkpoint_path(name).exists()
         except RegistryError:
             return False
+
+    def version(self, name: str) -> int:
+        """Current publish version of ``name`` (0 when never published).
+
+        The version is a per-name counter maintained by :meth:`save`: the
+        first publish is version 1, every republish increments it.  It
+        rides inside the checkpoint (atomic with the weights), so a reader
+        can never observe a new version paired with old weights or vice
+        versa.  Reading it decodes only the checkpoint header, not the
+        parameter arrays.
+
+        The increment is a read-modify-write, so it is monotonic under the
+        normal one-publisher-per-name workflow but *not* race-free:
+        concurrent publishers to the same name can record duplicate
+        version numbers (the last atomic replace wins).  Change detection
+        must therefore use :meth:`checkpoint_signature`, which is reliable
+        regardless; the version is provenance metadata.
+        """
+        path = self.checkpoint_path(name)
+        if not path.exists():
+            return 0
+        meta = read_checkpoint_metadata(path).get("registry")
+        if not isinstance(meta, dict):
+            return 0
+        return int(meta.get("version", 1))
+
+    def checkpoint_signature(self, name: str) -> Optional[Tuple[int, int, int]]:
+        """Cheap change-detection token for ``name``'s checkpoint file.
+
+        Returns ``(st_ino, st_mtime_ns, st_size)`` of the checkpoint — one
+        ``stat`` call, no file reads.  Because publishes go through
+        ``os.replace`` of a fresh temp file, any republish changes the
+        inode, so a signature mismatch is a reliable "something new was
+        published" signal (the gateway's hot-reload trigger).  ``None``
+        when the model is not registered.
+        """
+        try:
+            stat = self.checkpoint_path(name).stat()
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
 
     def names(self) -> List[str]:
         """Registered model names, sorted."""
@@ -130,6 +178,10 @@ class ModelRegistry:
         metadata: Optional[Dict[str, Any]] = None,
     ) -> Path:
         """Publish a model under ``name`` (atomic; replaces any previous entry).
+
+        Every publish bumps the entry's monotonic ``version`` (stored inside
+        the checkpoint, atomic with the weights) — the signal a running
+        :class:`~repro.serve.gateway.ServeGateway` uses to hot-reload.
 
         Parameters
         ----------
@@ -157,6 +209,7 @@ class ModelRegistry:
             hardware_dict = dict(hardware.as_dict()) if hasattr(hardware, "as_dict") else dict(hardware)
         meta = {
             "name": name,
+            "version": self.version(name) + 1,
             "config": jsonable(config) if config is not None else None,
             "accuracy": float(accuracy) if accuracy is not None else None,
             "hardware": hardware_dict,

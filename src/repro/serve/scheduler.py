@@ -22,6 +22,25 @@ batching (requests submitted before :meth:`InferenceServer.start`, FIFO
 chunks of ``max_batch``) the served counts are bit-identical to
 :func:`repro.runtime.evaluate_with_runtime` over the same batches — the
 contract ``tests/test_serve.py`` and the serving benchmark enforce.
+
+Admission control
+-----------------
+By default the queue is unbounded — open-loop arrivals beyond capacity grow
+it (and every latency percentile) without limit.  Passing ``max_queue``
+caps the number of waiting requests and picks one of two overload
+policies:
+
+* ``overload="shed"`` (default) — a submit that finds the queue full
+  fails fast with :class:`ServerOverloaded`, *before* paying the encode;
+  the shed is counted in :class:`~repro.serve.telemetry.ServeTelemetry`.
+* ``overload="block"`` — the submitter blocks until a slot frees (classic
+  back-pressure).  Blocked submitters are admitted strictly in arrival
+  (FIFO) order; late arrivals cannot barge past earlier waiters even when
+  a slot opens just as they arrive.
+
+Admission decisions (admitted count, shed count, queue-depth high-water
+mark) are surfaced through the server's telemetry alongside latency and
+throughput.
 """
 
 from __future__ import annotations
@@ -45,6 +64,18 @@ class ServerClosed(RuntimeError):
     """Raised when submitting to (or pending on) a server that has shut down."""
 
 
+class ServerOverloaded(RuntimeError):
+    """Raised by ``overload="shed"`` admission control when the queue is full."""
+
+
+#: Overload policy: reject surplus submits with :class:`ServerOverloaded`.
+OVERLOAD_SHED = "shed"
+#: Overload policy: block surplus submitters until a queue slot frees (FIFO).
+OVERLOAD_BLOCK = "block"
+
+_OVERLOAD_POLICIES = (OVERLOAD_SHED, OVERLOAD_BLOCK)
+
+
 @dataclass
 class ServeResult:
     """What one request resolves to.
@@ -63,6 +94,9 @@ class ServeResult:
         Size of the micro-batch the request was served in.
     input_density:
         Non-zero fraction of the request's encoded spike train.
+    sequence:
+        Admission order: the 0-based position of this request among every
+        request this server ever admitted (sheds do not consume a number).
     """
 
     prediction: int
@@ -71,6 +105,7 @@ class ServeResult:
     queue_ms: float
     batch_size: int
     input_density: float
+    sequence: int = 0
 
 
 @dataclass
@@ -80,6 +115,7 @@ class _Pending:
     submitted: float  # when submit() was called (latency measurement)
     queued: float  # when the request entered the queue (batching deadline)
     input_density: float
+    sequence: int  # admission order (see ServeResult.sequence)
 
 
 class InferenceServer:
@@ -104,6 +140,16 @@ class InferenceServer:
     workers:
         Concurrent batch executors.  Each worker checks out its own
         compiled plan, so ``workers`` bounds the plans ever compiled.
+    max_queue:
+        Admission-control cap on the number of *waiting* requests
+        (``None`` = unbounded, the historical behaviour).  Requests being
+        executed do not count against the cap.
+    overload:
+        What to do with a submit that finds the queue full:
+        ``"shed"`` raises :class:`ServerOverloaded` fail-fast,
+        ``"block"`` applies back-pressure — the submitter blocks until a
+        slot frees, admitted in FIFO arrival order.  Ignored while
+        ``max_queue`` is ``None``.
     telemetry:
         Optional shared :class:`ServeTelemetry` (a fresh one is created by
         default, exposed as :attr:`telemetry`).
@@ -123,6 +169,8 @@ class InferenceServer:
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
         workers: int = 1,
+        max_queue: Optional[int] = None,
+        overload: str = OVERLOAD_SHED,
         telemetry: Optional[ServeTelemetry] = None,
     ) -> None:
         if max_batch < 1:
@@ -131,11 +179,17 @@ class InferenceServer:
             raise ValueError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be at least 1 (or None), got {max_queue}")
+        if overload not in _OVERLOAD_POLICIES:
+            raise ValueError(f"overload must be one of {_OVERLOAD_POLICIES}, got {overload!r}")
         self.pool = model if isinstance(model, CompiledNetworkPool) else CompiledNetworkPool(model, max_idle=workers)
         self.encoder = encoder
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.workers = int(workers)
+        self.max_queue = int(max_queue) if max_queue is not None else None
+        self.overload = overload
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
 
         self._cv = threading.Condition()
@@ -145,6 +199,10 @@ class InferenceServer:
         # stalling the dispatcher, which waits on the queue condition.
         self._encode_lock = threading.Lock()
         self._queue: Deque[_Pending] = deque()
+        # Back-pressure turnstile: one opaque token per blocked submitter,
+        # in arrival order; the head waiter is admitted first (no barging).
+        self._blocked: Deque[object] = deque()
+        self._sequence = 0
         self._closed = False
         self._draining = True
         self._dispatcher: Optional[threading.Thread] = None
@@ -201,16 +259,60 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
+    def _queue_full_locked(self) -> bool:
+        """Whether admission control should act on a new arrival (cv held)."""
+        if self.max_queue is None:
+            return False
+        # Waiting back-pressured submitters count as ahead in line: a new
+        # arrival must not slip past them even if a slot is currently free.
+        return len(self._queue) >= self.max_queue or bool(self._blocked)
+
+    def _admit_locked(self) -> None:
+        """Apply the overload policy; returns with a queue slot available.
+
+        Must be called with ``self._cv`` held.  Raises
+        :class:`ServerOverloaded` (shed policy) or :class:`ServerClosed`
+        (server stopped while the submitter was blocked).
+        """
+        if not self._queue_full_locked():
+            return
+        if self.overload == OVERLOAD_SHED:
+            self.telemetry.record_shed()
+            raise ServerOverloaded(
+                f"queue full ({self.max_queue} waiting requests); request shed"
+            )
+        token = object()
+        self._blocked.append(token)
+        try:
+            while True:
+                if self._closed:
+                    raise ServerClosed("server stopped while awaiting admission")
+                if self._blocked[0] is token and len(self._queue) < self.max_queue:
+                    return
+                self._cv.wait()
+        finally:
+            self._blocked.remove(token)
+            self._cv.notify_all()
+
     def submit(self, image: np.ndarray) -> "Future[ServeResult]":
         """Queue one raw image; returns a future resolving to a :class:`ServeResult`.
 
         The image is encoded synchronously (so encoder errors surface here,
         attributed to the caller) and the request then waits to be coalesced.
+        With ``max_queue`` set, admission control runs first: shed mode
+        raises :class:`ServerOverloaded` before the encode is paid; block
+        mode encodes, then waits for a queue slot in FIFO arrival order.
         """
         image = np.asarray(image, dtype=np.float32)
         submitted = time.perf_counter()
         if self._closed:
             raise ServerClosed("cannot submit to a stopped server")
+        if self.max_queue is not None and self.overload == OVERLOAD_SHED:
+            # Fail fast before the (dominant) encode cost; the authoritative
+            # check under the lock below still guards against races.  In
+            # shed mode _admit_locked never blocks: it returns or raises.
+            with self._cv:
+                self._admit_locked()
         if getattr(self.encoder, "stochastic", True):
             # Only stochastic encoders need submission-order serialisation
             # (the RNG stream); deterministic ones encode fully in parallel.
@@ -223,6 +325,9 @@ class InferenceServer:
         with self._cv:
             if self._closed:
                 raise ServerClosed("cannot submit to a stopped server")
+            self._admit_locked()
+            sequence = self._sequence
+            self._sequence += 1
             # The wait-for-company clock starts at queue entry, not at
             # submit: encoding time must not eat into the max_wait window.
             self._queue.append(
@@ -232,8 +337,10 @@ class InferenceServer:
                     submitted=submitted,
                     queued=time.perf_counter(),
                     input_density=density,
+                    sequence=sequence,
                 )
             )
+            self.telemetry.record_admission(len(self._queue))
             self._cv.notify_all()
         return future
 
@@ -262,7 +369,10 @@ class InferenceServer:
                     # Both wake sources (submit, stop) notify under this
                     # condition, so an idle dispatcher blocks without polling.
                     self._cv.wait()
-            return [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
+            batch = [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
+            # Freed queue slots: wake back-pressured submitters (FIFO).
+            self._cv.notify_all()
+            return batch
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -316,6 +426,7 @@ class InferenceServer:
                         queue_ms=stat.queue_ms,
                         batch_size=stat.batch_size,
                         input_density=stat.input_density,
+                        sequence=pending.sequence,
                     )
                 )
         except BaseException as exc:  # noqa: BLE001 - must reach the futures

@@ -51,7 +51,14 @@ class ServeTelemetry:
     ----------
     window:
         Number of most-recent requests the latency percentiles cover.
-        Totals (request/batch counters, spike activity, fps) are unbounded.
+        Totals (request/batch counters, admission counters, spike activity,
+        fps) are unbounded.
+
+    Besides completion stats, the scheduler reports every *admission
+    decision* here: :meth:`record_admission` when a request enters the
+    queue (tracking the queue-depth high-water mark) and :meth:`record_shed`
+    when admission control rejects one — so overload behaviour is visible
+    in the same summary as latency and throughput.
     """
 
     def __init__(self, window: int = 4096) -> None:
@@ -62,11 +69,39 @@ class ServeTelemetry:
         self._stats: Deque[RequestStat] = deque(maxlen=self.window)
         self.total_requests = 0
         self.total_batches = 0
+        self.total_admitted = 0
+        self.total_shed = 0
+        self.queue_depth_high_water = 0
         self.activity: Optional[RuntimeActivity] = None
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
 
     # ------------------------------------------------------------------ #
+    def record_admission(self, queue_depth: int) -> None:
+        """Count one admitted request and fold in the observed queue depth."""
+        with self._lock:
+            self.total_admitted += 1
+            if queue_depth > self.queue_depth_high_water:
+                self.queue_depth_high_water = queue_depth
+
+    def record_shed(self) -> None:
+        """Count one request rejected by admission control (shed policy)."""
+        with self._lock:
+            self.total_shed += 1
+
+    def reset_activity(self) -> None:
+        """Drop the accumulated spike activity; keep every other counter.
+
+        Called when the *served model* changes under a continuing telemetry
+        stream (e.g. a gateway hot-reload that replaces the network):
+        request/admission counters and latency percentiles remain
+        comparable across the swap, but per-layer spike activity from the
+        old network must not be merged with the new one's — the layer sets
+        (and possibly ``num_steps``) no longer match.
+        """
+        with self._lock:
+            self.activity = None
+
     def record_batch(
         self,
         stats: Sequence[RequestStat],
@@ -74,13 +109,20 @@ class ServeTelemetry:
         first_submit: float,
         done: float,
     ) -> None:
-        """Fold one completed micro-batch into the aggregate."""
+        """Fold one completed micro-batch into the aggregate.
+
+        Spike activity accumulates per timestep regime: a batch whose
+        ``num_steps`` differs from the accumulated activity (the served
+        model was hot-swapped to a different timestep count) restarts the
+        activity aggregate rather than failing the batch — request
+        counters and latency stats continue uninterrupted.
+        """
         with self._lock:
             self._stats.extend(stats)
             self.total_requests += len(stats)
             self.total_batches += 1
             if activity is not None:
-                if self.activity is None:
+                if self.activity is None or self.activity.num_steps != activity.num_steps:
                     self.activity = RuntimeActivity(num_steps=activity.num_steps)
                 self.activity.merge(activity)
             if self._first_submit is None or first_submit < self._first_submit:
@@ -109,6 +151,7 @@ class ServeTelemetry:
             return self.total_requests / elapsed
 
     def mean_batch_size(self) -> float:
+        """Average micro-batch size over the window (0 when nothing served)."""
         with self._lock:
             if not self._stats:
                 return 0.0
@@ -135,6 +178,9 @@ class ServeTelemetry:
         out: Dict[str, float] = {
             "requests": float(self.total_requests),
             "batches": float(self.total_batches),
+            "admitted": float(self.total_admitted),
+            "shed": float(self.total_shed),
+            "queue_high_water": float(self.queue_depth_high_water),
             "achieved_fps": self.achieved_fps(),
             "mean_batch_size": self.mean_batch_size(),
             "mean_input_density": self.mean_input_density(),
@@ -192,6 +238,8 @@ def format_telemetry(summary: Mapping[str, float], title: str = "Serving telemet
     rows: List[tuple] = [
         ("requests", f"{summary.get('requests', 0):.0f}"),
         ("batches", f"{summary.get('batches', 0):.0f}"),
+        ("shed", f"{summary.get('shed', 0):.0f}"),
+        ("queue high-water", f"{summary.get('queue_high_water', 0):.0f}"),
         ("mean batch size", f"{summary.get('mean_batch_size', 0):.2f}"),
         ("achieved fps", f"{summary.get('achieved_fps', 0):.1f}"),
         ("latency p50", f"{summary.get('p50_ms', float('nan')):.3f} ms"),

@@ -215,6 +215,22 @@ def save_checkpoint(
     return path
 
 
+def read_checkpoint_metadata(path: PathLike) -> Dict[str, Any]:
+    """Read just the caller metadata from a checkpoint, without the weights.
+
+    Opens the archive and decodes only the JSON header member — the
+    parameter arrays are never touched — so callers that need publish-time
+    metadata (e.g. the registry's version counter) do not pay a full model
+    reconstruction.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _HEADER_KEY not in archive.files:
+            raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
+        header = json.loads(str(archive[_HEADER_KEY][()]))
+    return header.get("metadata", {})
+
+
 def load_checkpoint(path: PathLike) -> Tuple[Module, Optional[Encoder], Dict[str, Any]]:
     """Rebuild ``(model, encoder, metadata)`` from :func:`save_checkpoint`.
 

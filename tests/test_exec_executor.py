@@ -45,11 +45,22 @@ class TestParallelMatchesSerial:
         for config, record in zip(micro_configs, records):
             assert record.config == config
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # degradation warning is expected here
     def test_serial_fallback_without_fork(self, micro_configs, monkeypatch):
         monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
         records = run_experiments(micro_configs[:2], workers=4)
         for a, b in zip(records, run_experiments(micro_configs[:2], workers=1)):
             _assert_records_identical(a, b)
+
+    def test_serial_fallback_warns_about_degraded_parallelism(self, micro_configs, monkeypatch):
+        monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="'fork' start method is unavailable"):
+            run_experiments(micro_configs[:2], workers=2)
+
+    def test_no_warning_when_parallelism_not_requested(self, micro_configs, monkeypatch, recwarn):
+        monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
+        run_experiments(micro_configs[:1], workers=1)
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
 
 class TestCachingBehaviour:

@@ -19,6 +19,7 @@ from repro.serve import (
     RegistryError,
     ServeTelemetry,
     ServerClosed,
+    ServerOverloaded,
     format_telemetry,
     train_and_register,
 )
@@ -125,6 +126,161 @@ class TestCompiledNetworkPool:
         with pool.acquire(), pool.acquire(), pool.acquire():
             pass
         assert pool.idle_count == 1
+
+
+class TestCompiledNetworkPoolUpdateWeights:
+    def test_swaps_weights_in_place_for_all_plans(self, untrained):
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model, max_idle=2)
+        with pool.acquire():
+            pass  # warm one plan
+        new_state = {name: value + 1.0 for name, value in model.state_dict().items()}
+        pool.update_weights(new_state)
+        for name, value in pool.model.state_dict().items():
+            np.testing.assert_array_equal(value, new_state[name])
+
+    def test_waits_for_outstanding_plan(self, untrained):
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model, max_idle=2)
+        new_state = model.state_dict()
+        applied = threading.Event()
+
+        def updater():
+            pool.update_weights(new_state)
+            applied.set()
+
+        with pool.acquire():
+            thread = threading.Thread(target=updater)
+            thread.start()
+            time.sleep(0.05)
+            assert not applied.is_set(), "update must wait for the checked-out plan"
+        thread.join(timeout=10)
+        assert applied.is_set()
+
+    def test_mismatched_state_raises_and_pool_survives(self, untrained):
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model)
+        with pytest.raises(KeyError):
+            pool.update_weights({"nope": np.zeros(1, dtype=np.float32)})
+        with pool.acquire() as plan:  # checkouts are unblocked again
+            assert plan is not None
+
+    def test_shape_mismatch_leaves_weights_untouched(self, untrained):
+        """load_state_dict is all-or-nothing: no torn old/new weight mixture."""
+        model, _, _ = untrained
+        pool = CompiledNetworkPool(model)
+        before = model.state_dict()
+        bad = {name: value + 1.0 for name, value in before.items()}
+        first = next(iter(sorted(bad)))
+        bad[first] = np.zeros(tuple(s + 1 for s in bad[first].shape), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            pool.update_weights(bad)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+
+
+class TestAdmissionControl:
+    def test_shed_beyond_cap(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=4, max_queue=3)
+        futures = server.submit_many(images[:3])  # fills the queue (not started)
+        with pytest.raises(ServerOverloaded, match="queue full"):
+            server.submit(images[3])
+        assert server.telemetry.total_shed == 1
+        assert server.telemetry.total_admitted == 3
+        server.start()
+        for future in futures:
+            future.result(timeout=30)
+        server.stop()
+        summary = server.telemetry.summary()
+        assert summary["shed"] == 1
+        assert summary["admitted"] == 3
+        assert summary["queue_high_water"] == 3
+
+    def test_queue_depth_never_exceeds_cap_under_load(self, untrained):
+        model, encoder, images = untrained
+        cap = 2
+        with InferenceServer(
+            model, encoder, max_batch=2, max_wait_ms=0.0, max_queue=cap
+        ) as server:
+            outcomes = []
+            for image in images * 2:
+                try:
+                    outcomes.append(server.submit(image))
+                except ServerOverloaded:
+                    pass
+            for future in outcomes:
+                future.result(timeout=30)
+        assert server.telemetry.queue_depth_high_water <= cap
+        assert server.telemetry.total_admitted == len(outcomes)
+
+    def test_backpressure_blocks_and_admits_fifo(self, untrained):
+        model, encoder, images = untrained
+        cap = 2
+        server = InferenceServer(
+            model, encoder, max_batch=1, max_wait_ms=0.0, max_queue=cap, overload="block"
+        )
+        head = server.submit_many(images[:cap])  # fills the queue (not started)
+
+        blocked_futures = {}
+        threads = []
+        for i in range(3):
+            thread = threading.Thread(
+                target=lambda i=i: blocked_futures.__setitem__(i, server.submit(images[cap + i]))
+            )
+            thread.start()
+            threads.append(thread)
+            # Wait until this submitter is parked in the admission turnstile
+            # before launching the next, so arrival order is deterministic.
+            deadline = time.monotonic() + 10
+            while len(server._blocked) != i + 1:
+                assert time.monotonic() < deadline, "submitter never blocked"
+                time.sleep(0.001)
+
+        server.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        results = [blocked_futures[i].result(timeout=30) for i in range(3)]
+        for future in head:
+            future.result(timeout=30)
+        server.stop()
+
+        # Blocked submitters were admitted in arrival order, after the head.
+        assert [r.sequence for r in results] == [cap, cap + 1, cap + 2]
+        assert server.telemetry.queue_depth_high_water <= cap
+        assert server.telemetry.total_shed == 0
+        assert server.telemetry.total_admitted == cap + 3
+
+    def test_blocked_submitter_released_by_stop(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(
+            model, encoder, max_batch=1, max_queue=1, overload="block"
+        )
+        server.submit(images[0])  # fills the queue (not started)
+        errors = []
+
+        def client():
+            try:
+                server.submit(images[1])
+            except ServerClosed as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not server._blocked:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        server.stop(drain=False)
+        thread.join(timeout=10)
+        assert len(errors) == 1
+
+    def test_invalid_admission_arguments_rejected(self, untrained):
+        model, encoder, _ = untrained
+        with pytest.raises(ValueError, match="max_queue"):
+            InferenceServer(model, encoder, max_queue=0)
+        with pytest.raises(ValueError, match="overload"):
+            InferenceServer(model, encoder, max_queue=2, overload="panic")
 
 
 class TestInferenceServer:
@@ -237,6 +393,35 @@ class TestTelemetryMath:
         assert pct["p50_ms"] == pytest.approx(50.5)
         assert pct["p99_ms"] == pytest.approx(np.percentile(np.arange(1.0, 101.0), 99))
         assert telemetry.achieved_fps() == pytest.approx(100.0)
+
+    def test_activity_restarts_on_num_steps_change(self):
+        """A hot-swapped timestep regime restarts activity, never raises."""
+        from repro.runtime.activity import RuntimeActivity
+
+        telemetry = ServeTelemetry()
+        stat = RequestStat(latency_ms=1.0, queue_ms=0.0, batch_size=1, input_density=0.5)
+        a = RuntimeActivity(num_steps=2)
+        a.samples, a.layer_output_events = 1, {"lif1": 4.0}
+        telemetry.record_batch([stat], a, first_submit=0.0, done=0.001)
+        b = RuntimeActivity(num_steps=4)
+        b.samples, b.layer_output_events = 1, {"lif1": 8.0}
+        telemetry.record_batch([stat], b, first_submit=0.001, done=0.002)
+        assert telemetry.activity.num_steps == 4
+        assert telemetry.activity.layer_output_events == {"lif1": 8.0}
+        assert telemetry.total_requests == 2  # counters continue across the swap
+
+    def test_reset_activity_keeps_counters(self):
+        telemetry = ServeTelemetry()
+        stat = RequestStat(latency_ms=1.0, queue_ms=0.0, batch_size=1, input_density=0.5)
+        from repro.runtime.activity import RuntimeActivity
+
+        activity = RuntimeActivity(num_steps=2)
+        activity.samples = 1
+        telemetry.record_batch([stat], activity, first_submit=0.0, done=0.001)
+        telemetry.reset_activity()
+        assert telemetry.activity is None
+        assert telemetry.total_requests == 1
+        assert telemetry.latency_percentiles()["p50_ms"] == pytest.approx(1.0)
 
     def test_empty_telemetry_is_nan_and_zero(self):
         telemetry = ServeTelemetry()
