@@ -16,17 +16,23 @@ from numpy.lib.stride_tricks import as_strided
 from repro.autograd.function import Context, Function
 
 # ---------------------------------------------------------------------- #
-# Backward scratch buffers
+# Scratch buffers
 #
-# During BPTT every timestep runs its own Conv2d backward, and the three
-# large temporaries it needs (the lowered gradient columns, their matmul
-# input, and the padded input-gradient accumulator) have the same shape at
-# every timestep.  Allocating them per call dominated backward overhead, so
-# they are served from a per-process pool keyed by (tag, shape, dtype) and
-# reused across calls.  Backward passes run sequentially within a process
-# (the autograd engine is single-threaded; sweep workers are separate
-# processes), and any array that outlives a backward call — e.g. the
-# returned input gradient — is copied out of the scratch space first.
+# During a T-timestep pass every timestep runs its own Conv2d forward (and,
+# under BPTT, backward), and the large temporaries each call needs — the
+# padded input copy, the lowered im2col matrix, the GEMM output, and on the
+# backward side the gradient columns and the padded gradient accumulator —
+# have the same shape at every timestep.  Allocating them per call
+# dominated conv overhead, so they are served from a per-process pool keyed
+# by (tag, shape, dtype) and reused across calls.  Conv calls run
+# sequentially within a process (the autograd engine is single-threaded;
+# sweep workers are separate processes), every call fills a scratch buffer
+# before reading it, and any array that outlives a call — the forward
+# output, the returned input gradient, anything saved in the ctx — is a
+# fresh allocation or copied out of the scratch space first.  In particular
+# the forward saves the *unpadded* input (alive in the graph anyway) and
+# the backward re-pads it into scratch, so no pooled buffer is ever
+# retained across timesteps.
 # ---------------------------------------------------------------------- #
 _SCRATCH: Dict[Tuple[str, Tuple[int, ...], str], np.ndarray] = {}
 
@@ -42,8 +48,25 @@ def _scratch(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
 
 
 def clear_scratch() -> None:
-    """Drop all pooled backward scratch buffers (frees memory; used by tests)."""
+    """Drop all pooled conv scratch buffers (frees memory; used by tests)."""
     _SCRATCH.clear()
+
+
+def _padded_input(x: np.ndarray, padding: int) -> np.ndarray:
+    """``x`` zero-padded into pooled scratch (``x`` itself when unpadded).
+
+    Value-identical to ``np.pad(x, ...)`` — a C-contiguous array with a
+    zero border and the input copied into the interior — without the per
+    call allocation.  The buffer is shared by forward and backward (both
+    fill it before use, neither retains it past the call).
+    """
+    if padding == 0:
+        return x
+    n, c, h, w = x.shape
+    xp = _scratch("conv_xp", (n, c, h + 2 * padding, w + 2 * padding), x.dtype)
+    xp.fill(0)
+    xp[:, :, padding : padding + h, padding : padding + w] = x
+    return xp
 
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
@@ -84,23 +107,37 @@ class Conv2d(Function):
         stride: int = 1,
         padding: int = 0,
     ) -> np.ndarray:
-        if padding > 0:
-            xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-        else:
-            xp = x
+        xp = _padded_input(x, padding)
         c_out, c_in, kh, kw = weight.shape
         cols = _im2col(xp, kh, kw, stride)
-        # (N, C, KH, KW, OH, OW) x (C_out, C, KH, KW) -> (N, OH, OW, C_out)
-        out = np.tensordot(cols, weight, axes=([1, 2, 3], [1, 2, 3]))
-        out = out.transpose(0, 3, 1, 2)
+        n = x.shape[0]
+        oh, ow = cols.shape[4], cols.shape[5]
+        # (N, C, KH, KW, OH, OW) x (C_out, C, KH, KW) -> (N, OH, OW, C_out),
+        # computed as one GEMM into pooled scratch, replicating tensordot's
+        # operand layouts exactly so the result stays bit-identical: the
+        # column matrix is the same C-contiguous copy tensordot would make,
+        # and the weight stays the same transposed *view* (reshape of a
+        # C-contiguous kernel merges cleanly, so BLAS sees TransB either way).
+        cols_mat = _scratch("conv_cols", (n * oh * ow, c_in * kh * kw), x.dtype)
+        np.copyto(cols_mat.reshape(n, oh, ow, c_in, kh, kw), cols.transpose(0, 4, 5, 1, 2, 3))
+        wt = weight.reshape(c_out, c_in * kh * kw).T
+        out_mat = _scratch("conv_out", (n * oh * ow, c_out), x.dtype)
+        np.matmul(cols_mat, wt, out=out_mat)
+        # The returned output enters the graph, so it is a fresh allocation
+        # copied out of the scratch space (NCHW, C-contiguous).
+        out = np.empty((n, c_out, oh, ow), dtype=out_mat.dtype)
+        np.copyto(out, out_mat.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2))
         if bias is not None:
-            out = out + bias[None, :, None, None]
-        ctx.save_for_backward(xp, weight, bias is not None, stride, padding, x.shape)
-        return np.ascontiguousarray(out)
+            out += bias[None, :, None, None]
+        # Save the *unpadded* input: it is already retained by the graph, so
+        # this adds no memory, and the backward re-pads into scratch.
+        ctx.save_for_backward(x, weight, bias is not None, stride, padding)
+        return out
 
     @staticmethod
     def backward(ctx: Context, grad_output: np.ndarray):
-        xp, weight, has_bias, stride, padding, x_shape = ctx.saved
+        x, weight, has_bias, stride, padding = ctx.saved
+        xp = _padded_input(x, padding)
         c_out, c_in, kh, kw = weight.shape
         n, _, hp, wp = xp.shape
         go = np.asarray(grad_output)
@@ -131,7 +168,7 @@ class Conv2d(Function):
         # Copy the result out of the scratch space: the returned gradient is
         # held by the autograd engine while later backward calls reuse it.
         if padding > 0:
-            h, w = x_shape[2], x_shape[3]
+            h, w = x.shape[2], x.shape[3]
             grad_x = grad_xp[:, :, padding : padding + h, padding : padding + w].copy()
         else:
             grad_x = grad_xp.copy()

@@ -7,11 +7,12 @@ calls — embarrassingly parallel work that the seed implementation executed
 one cell at a time.  This subpackage provides:
 
 * :func:`~repro.exec.executor.run_experiments` — runs a list of
-  :class:`~repro.core.config.ExperimentConfig` across a fork-based process
-  pool with deterministic per-config seeding and structured progress
-  events.  ``workers=1`` (the default) or a platform without ``fork``
-  falls back to a serial loop; parallel results are bit-for-bit identical
-  to serial ones.
+  :class:`~repro.core.config.ExperimentConfig` across a process pool with
+  deterministic per-config seeding and structured progress events.  The
+  pool forks where the platform allows and spawns otherwise (see
+  :func:`~repro.exec.executor.resolve_start_method`); ``workers=1`` (the
+  default) runs a serial loop.  Parallel results are bit-for-bit identical
+  to serial ones under either start method.
 * :class:`~repro.exec.cache.ExperimentCache` — a content-addressed on-disk
   cache of :class:`~repro.core.experiment.ExperimentRecord` keyed by the
   resolved configuration plus code-relevant versions, so re-running or
@@ -32,6 +33,7 @@ from repro.exec.executor import (
     CellExecutionError,
     ProgressEvent,
     resolve_cache,
+    resolve_start_method,
     resolve_workers,
     run_experiments,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "experiment_cache_key",
     "ProgressEvent",
     "resolve_cache",
+    "resolve_start_method",
     "resolve_workers",
     "run_experiments",
 ]

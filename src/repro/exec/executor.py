@@ -3,7 +3,11 @@
 :func:`run_experiments` is the single entry point every sweep routes
 through.  It takes an ordered list of configurations, satisfies as many as
 possible from the :class:`~repro.exec.cache.ExperimentCache`, then runs the
-remaining cells either serially or across a ``fork``-based process pool.
+remaining cells either serially or across a process pool.  The pool start
+method defaults to ``fork`` where the platform offers it and falls back to
+``spawn`` otherwise (macOS, Windows), so ``workers>1`` is honoured
+everywhere; :func:`resolve_start_method` picks, and
+``REPRO_SWEEP_START_METHOD`` or the ``start_method=`` argument override.
 
 Determinism
 -----------
@@ -29,7 +33,6 @@ import multiprocessing
 import os
 import time
 import traceback
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
@@ -118,6 +121,32 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Resolve the pool start method: argument, then env, then the platform.
+
+    The default prefers ``fork`` (cheap, inherits the warmed parent) and
+    falls back to ``spawn`` where fork does not exist — cells are
+    deterministic per config, so both produce bit-identical records; only
+    startup cost differs.  ``REPRO_SWEEP_START_METHOD`` overrides the
+    default; an explicit argument overrides both.  Asking for a method the
+    platform does not offer is an error for the argument, while a
+    malformed env value falls back to the platform default rather than
+    failing a sweep that never asked for it.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in available:
+            raise ValueError(
+                f"start_method {start_method!r} is not available on this platform "
+                f"(choose from {sorted(available)})"
+            )
+        return start_method
+    env = os.environ.get("REPRO_SWEEP_START_METHOD", "").strip().lower()
+    if env in available:
+        return env
+    return "fork" if fork_available() else "spawn"
+
+
 def _config_seed(config: ExperimentConfig) -> int:
     """Deterministic 32-bit seed for the worker's global RNG, per config."""
     key = experiment_cache_key(config)
@@ -174,6 +203,7 @@ def run_experiments(
     configs: Sequence[ExperimentConfig],
     *,
     workers: Optional[int] = None,
+    start_method: Optional[str] = None,
     cache: CacheSpec = None,
     accelerator: Any = None,
     use_runtime: bool = True,
@@ -188,8 +218,11 @@ def run_experiments(
         The sweep cells, in the order results should be returned.
     workers:
         Process-pool size (default: ``REPRO_SWEEP_WORKERS`` or 1).  With one
-        worker, or on platforms without ``fork``, cells run serially in this
-        process; results are identical either way.
+        worker cells run serially in this process; results are identical
+        either way.
+    start_method:
+        Pool start method (default: see :func:`resolve_start_method` —
+        ``fork`` where available, ``spawn`` otherwise).
     cache:
         See :func:`resolve_cache`.  Hits skip training entirely; fresh
         records are stored as soon as they complete, so an interrupted sweep
@@ -260,21 +293,11 @@ def run_experiments(
     if pending:
         payloads = [(i, configs[i], accelerator, use_runtime, verbose) for i in pending]
         nworkers = min(resolve_workers(workers), len(pending))
-        if nworkers > 1 and not fork_available():
-            # Results are identical either way (determinism is per-cell),
-            # but the wall-clock expectation is not — say so instead of
-            # silently running an N-worker sweep on one core.
-            warnings.warn(
-                f"requested {nworkers} sweep workers, but the 'fork' start method is "
-                "unavailable on this platform; running serially in this process "
-                "(a 'spawn' pool fallback is a ROADMAP item)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        if nworkers > 1 and fork_available():
+        if nworkers > 1:
+            method = resolve_start_method(start_method)
             for i in pending:
                 emit("start", i)
-            ctx = multiprocessing.get_context("fork")
+            ctx = multiprocessing.get_context(method)
             with ctx.Pool(processes=nworkers) as pool:
                 for index, outcome, seconds in pool.imap_unordered(_run_cell, payloads):
                     settle(index, outcome, seconds)

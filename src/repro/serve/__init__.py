@@ -23,6 +23,13 @@ This package is that deployment surface:
   across registry entries — one lazily started server per active model —
   and hot-reloads weights in place when a model is republished, without
   restarting or dropping queued work.
+* :class:`~repro.serve.autoscaler.ModelAutoscaler` closes the loop from
+  telemetry back to capacity: driven by an
+  :class:`~repro.serve.autoscaler.AutoscalePolicy` on the gateway, each
+  model's worker count and micro-batch cap walk a hysteresis-damped
+  capacity ladder against observed queue age and latency, while the
+  scheduler's priority lanes shed low-priority traffic first under
+  overload and deadline budgets cut batches early.
 * :class:`~repro.serve.telemetry.ServeTelemetry` measures what the hardware
   models predict: p50/p95/p99 latency, achieved fps, per-layer spike
   activity, plus admission-control counters (admitted/shed, queue-depth
@@ -35,6 +42,7 @@ arrival modes (including gateway overload beyond capacity);
 ``docs/ARCHITECTURE.md``.
 """
 
+from repro.serve.autoscaler import AutoscalePolicy, ModelAutoscaler
 from repro.serve.gateway import ServeGateway, format_gateway_summary
 from repro.serve.registry import (
     ModelRegistry,
@@ -53,6 +61,8 @@ from repro.serve.scheduler import (
 from repro.serve.telemetry import RequestStat, ServeTelemetry, format_telemetry
 
 __all__ = [
+    "AutoscalePolicy",
+    "ModelAutoscaler",
     "ModelRegistry",
     "RegisteredModel",
     "RegistryError",

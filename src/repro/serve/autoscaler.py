@@ -1,0 +1,222 @@
+"""Closed-loop capacity control for the serving layer.
+
+The serving stack measures everything (queue age, latency percentiles,
+admission counters) but a fixed ``workers`` / ``max_batch`` configuration
+cannot be right for traffic whose intensity varies — the same observation
+the source papers make about sizing SNN hardware from measured activity.
+This module closes the loop: a :class:`ModelAutoscaler` samples one
+server's live signals on a fixed cadence and walks a discrete *capacity
+ladder* up and down against the targets in an :class:`AutoscalePolicy`.
+
+Control law
+-----------
+Capacity is quantised into levels.  At level ``L`` the server runs
+``min(min_workers + L, max_workers)`` workers with a micro-batch cap of
+``min(min_batch * 2**L, max_batch)`` — workers grow linearly (each one is
+a real thread plus a compiled plan), batch size geometrically (batching
+amortises fixed per-dispatch cost).  Two signals classify each sample:
+
+* **hot** — the oldest queued request is older than
+  ``target_queue_age_ms``, or (when a latency SLO is set) the p95 over the
+  most recent ``window`` requests exceeds ``target_p95_ms``;
+* **cold** — the ladder is above level 0 and queue age is below a quarter
+  of the target (the queue drains faster than it fills).
+
+Hysteresis comes from *streaks*: only ``scale_up_after`` consecutive hot
+samples trigger a step up, ``scale_down_after`` consecutive cold samples a
+step down, and ``cooldown_s`` must elapse between any two scale events —
+so a single bursty sample or a momentary lull never thrashes capacity.
+
+Actuation goes through :meth:`InferenceServer.resize`, which retargets the
+worker pool and batch cap *between* batches (in-flight batches finish on
+the plan they checked out, queued work is never dropped), and resizes the
+compiled-plan pool in lockstep.  Because the runtime treats the batch axis
+as data-parallel, served outputs are bit-identical across scale events.
+Every event is recorded in :class:`~repro.serve.telemetry.ServeTelemetry`
+with the signals that triggered it.
+
+:class:`~repro.serve.gateway.ServeGateway` owns one autoscaler per active
+model and drives them all from a single background sampling thread; see
+``docs/ARCHITECTURE.md`` for the design discussion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.scheduler import InferenceServer
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Targets and bounds for one model's closed-loop capacity control.
+
+    Attributes
+    ----------
+    min_workers / max_workers:
+        Worker-thread range the ladder may walk.  A freshly activated
+        server starts at ``min_workers``.
+    min_batch / max_batch:
+        Micro-batch cap range; doubles per ladder level.
+    target_queue_age_ms:
+        The queueing SLO: oldest-request age above this classifies a
+        sample as hot; below a quarter of it (with the ladder raised) as
+        cold.
+    target_p95_ms:
+        Optional latency SLO over the most recent ``window`` requests;
+        ``None`` scales on queue age alone.
+    scale_up_after / scale_down_after:
+        Consecutive hot (cold) samples required before stepping the ladder
+        — the hysteresis that rejects one-sample noise.  Scale-down should
+        be the slower of the two (shedding capacity is cheap to get wrong).
+    cooldown_s:
+        Minimum seconds between any two scale events, so the effect of one
+        step is observed before the next.
+    window:
+        How many recent requests the p95 signal is computed over.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    min_batch: int = 8
+    max_batch: int = 32
+    target_queue_age_ms: float = 50.0
+    target_p95_ms: Optional[float] = None
+    scale_up_after: int = 2
+    scale_down_after: int = 6
+    cooldown_s: float = 0.25
+    window: int = 64
+
+    def __post_init__(self) -> None:
+        """Validate ranges and targets (raises ``ValueError``)."""
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be at least 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= min_workers ({self.min_workers})"
+            )
+        if self.min_batch < 1:
+            raise ValueError(f"min_batch must be at least 1, got {self.min_batch}")
+        if self.max_batch < self.min_batch:
+            raise ValueError(
+                f"max_batch ({self.max_batch}) must be >= min_batch ({self.min_batch})"
+            )
+        if self.target_queue_age_ms <= 0:
+            raise ValueError(
+                f"target_queue_age_ms must be positive, got {self.target_queue_age_ms}"
+            )
+        if self.target_p95_ms is not None and self.target_p95_ms <= 0:
+            raise ValueError(f"target_p95_ms must be positive, got {self.target_p95_ms}")
+        if self.scale_up_after < 1 or self.scale_down_after < 1:
+            raise ValueError("scale_up_after and scale_down_after must be at least 1")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be non-negative, got {self.cooldown_s}")
+        if self.window < 1:
+            raise ValueError(f"window must be at least 1, got {self.window}")
+
+    def workers_at(self, level: int) -> int:
+        """Worker count at ladder ``level`` (linear growth, capped)."""
+        return min(self.min_workers + max(0, int(level)), self.max_workers)
+
+    def batch_at(self, level: int) -> int:
+        """Micro-batch cap at ladder ``level`` (doubling growth, capped)."""
+        return min(self.min_batch << max(0, int(level)), self.max_batch)
+
+    @property
+    def max_level(self) -> int:
+        """Highest useful ladder level (both axes saturated beyond it)."""
+        level = 0
+        while self.workers_at(level) < self.max_workers or self.batch_at(level) < self.max_batch:
+            level += 1
+        return level
+
+
+class ModelAutoscaler:
+    """Drives one server's capacity ladder from its live telemetry.
+
+    Not a thread itself: the owner (the gateway's sampling loop, or a
+    test) calls :meth:`sample` on its chosen cadence.  All state lives
+    here; the server is only ever touched through its public signal
+    properties and :meth:`~repro.serve.scheduler.InferenceServer.resize`.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serve.scheduler.InferenceServer` to control.
+    policy:
+        The :class:`AutoscalePolicy` with targets and bounds.
+    name:
+        Model name, recorded in scale-event reasons (cosmetic).
+    """
+
+    def __init__(self, server: InferenceServer, policy: AutoscalePolicy, name: str = "") -> None:
+        self.server = server
+        self.policy = policy
+        self.name = name
+        self.level = 0
+        self._hot_streak = 0
+        self._cold_streak = 0
+        self._last_scale = float("-inf")
+        # Start the server at the ladder's baseline so the loop owns the
+        # configuration end to end (no hand-tuned initial capacity).
+        server.resize(workers=policy.workers_at(0), max_batch=policy.batch_at(0))
+
+    def sample(self, now: Optional[float] = None) -> Optional[str]:
+        """Take one control-loop sample; returns ``"up"``/``"down"``/``None``.
+
+        Reads the queue-age and windowed-p95 signals, updates the hot/cold
+        streaks, and — when a streak crosses its threshold outside the
+        cooldown — steps the ladder and records the event in telemetry.
+        ``now`` (a ``time.monotonic`` value) is injectable for tests.
+        """
+        policy = self.policy
+        if now is None:
+            now = time.monotonic()
+        queue_age = self.server.oldest_queue_age_ms
+        p95 = self.server.telemetry.latency_percentiles(last=policy.window).get(
+            "p95_ms", float("nan")
+        )
+        hot = queue_age > policy.target_queue_age_ms
+        if policy.target_p95_ms is not None and p95 == p95:  # NaN-safe
+            hot = hot or p95 > policy.target_p95_ms
+        cold = self.level > 0 and queue_age <= policy.target_queue_age_ms / 4.0
+        if hot:
+            self._hot_streak += 1
+            self._cold_streak = 0
+        elif cold:
+            self._cold_streak += 1
+            self._hot_streak = 0
+        else:
+            self._hot_streak = 0
+            self._cold_streak = 0
+        if now - self._last_scale < policy.cooldown_s:
+            return None
+        if hot and self._hot_streak >= policy.scale_up_after and self.level < policy.max_level:
+            return self._step(+1, now, queue_age, p95)
+        if cold and self._cold_streak >= policy.scale_down_after:
+            return self._step(-1, now, queue_age, p95)
+        return None
+
+    def _step(self, delta: int, now: float, queue_age: float, p95: float) -> str:
+        """Move the ladder by ``delta`` and record the scale event."""
+        policy = self.policy
+        self.level += delta
+        workers = policy.workers_at(self.level)
+        max_batch = policy.batch_at(self.level)
+        self.server.resize(workers=workers, max_batch=max_batch)
+        direction = "up" if delta > 0 else "down"
+        self.server.telemetry.record_scale_event(
+            direction,
+            workers=workers,
+            max_batch=max_batch,
+            reason=(
+                f"{self.name or 'model'}: level {self.level - delta}->{self.level}, "
+                f"queue_age_ms={queue_age:.1f}, p95_ms={p95:.1f}"
+            ),
+        )
+        self._hot_streak = 0
+        self._cold_streak = 0
+        self._last_scale = now
+        return direction

@@ -25,6 +25,15 @@ front-end over a :class:`~repro.serve.registry.ModelRegistry`:
   FIFO back-pressure.  Shed counts, admitted counts and queue-depth
   high-water marks appear in each model's telemetry and in the gateway's
   aggregated :meth:`ServeGateway.summary`.
+* **Closed-loop autoscaling** — passing an
+  :class:`~repro.serve.autoscaler.AutoscalePolicy` attaches a
+  :class:`~repro.serve.autoscaler.ModelAutoscaler` to every per-model
+  server, all sampled from one background thread on a fixed cadence: each
+  model's worker count and micro-batch cap walk a capacity ladder against
+  observed queue age and latency, with scale events recorded in that
+  model's telemetry.  Scaling reuses the pool's quiesce discipline, so
+  queued work is never dropped and served outputs stay bit-identical
+  across scale events.
 
 ``benchmarks/bench_serve.py`` drives a two-model gateway through open-loop
 overload; ``examples/serve_quickstart.py`` shows routing plus a live
@@ -42,6 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.runtime.pool import CompiledNetworkPool
+from repro.serve.autoscaler import AutoscalePolicy, ModelAutoscaler
 from repro.serve.registry import ModelRegistry, RegisteredModel, RegistryError
 from repro.serve.scheduler import (
     OVERLOAD_SHED,
@@ -64,6 +74,7 @@ class _ActiveModel:
     lock: threading.Lock = field(default_factory=threading.Lock)
     last_check: float = 0.0
     reloads: int = 0
+    autoscaler: Optional[ModelAutoscaler] = None
 
 
 class ServeGateway:
@@ -79,6 +90,16 @@ class ServeGateway:
     max_queue, overload:
         Admission control applied to every per-model server queue — see
         :class:`InferenceServer`.  ``max_queue=None`` disables it.
+    autoscale:
+        Optional :class:`~repro.serve.autoscaler.AutoscalePolicy`.  When
+        set, every per-model server starts at the policy's baseline
+        capacity (``min_workers`` / ``min_batch`` — the gateway-level
+        ``workers`` / ``max_batch`` are ignored) and a background thread
+        samples each model's :class:`~repro.serve.autoscaler.ModelAutoscaler`
+        every ``autoscale_interval_s`` seconds.
+    autoscale_interval_s:
+        Control-loop sampling cadence (seconds); only used with
+        ``autoscale``.
     reload_check_s:
         Minimum seconds between republish checks per model.  ``0`` (the
         default) checks on every submit — the check is one ``stat`` call,
@@ -99,21 +120,31 @@ class ServeGateway:
         workers: int = 1,
         max_queue: Optional[int] = None,
         overload: str = OVERLOAD_SHED,
+        autoscale: Optional[AutoscalePolicy] = None,
+        autoscale_interval_s: float = 0.02,
         reload_check_s: float = 0.0,
     ) -> None:
         if reload_check_s < 0:
             raise ValueError(f"reload_check_s must be non-negative, got {reload_check_s}")
+        if autoscale_interval_s <= 0:
+            raise ValueError(
+                f"autoscale_interval_s must be positive, got {autoscale_interval_s}"
+            )
         self.registry = registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.workers = int(workers)
         self.max_queue = int(max_queue) if max_queue is not None else None
         self.overload = overload
+        self.autoscale = autoscale
+        self.autoscale_interval_s = float(autoscale_interval_s)
         self.reload_check_s = float(reload_check_s)
         self._active: Dict[str, _ActiveModel] = {}
         self._creating: Dict[str, threading.Lock] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._autoscale_thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -129,6 +160,10 @@ class ServeGateway:
                 return
             self._closed = True
             active = list(self._active.values())
+            autoscale_thread = self._autoscale_thread
+        self._stop_event.set()
+        if autoscale_thread is not None:
+            autoscale_thread.join()
         for model in active:
             model.server.stop(drain=drain)
 
@@ -141,12 +176,21 @@ class ServeGateway:
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    def submit(self, name: str, image: np.ndarray) -> "Future[ServeResult]":
+    def submit(
+        self,
+        name: str,
+        image: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> "Future[ServeResult]":
         """Route one raw image to the named model; returns its future.
 
         Activates the model on first use, then (rate-limited by
         ``reload_check_s``) checks the registry for a republish and
-        hot-reloads before enqueueing.  Raises
+        hot-reloads before enqueueing.  ``priority`` and ``deadline_ms``
+        are forwarded to the per-model server's SLO-aware scheduler (shed
+        lanes and deadline-driven batch cutoffs — see
+        :meth:`InferenceServer.submit`).  Raises
         :class:`~repro.serve.registry.RegistryError` for unknown names,
         :class:`~repro.serve.scheduler.ServerOverloaded` when shed-mode
         admission control rejects the request, and :class:`ServerClosed`
@@ -157,15 +201,24 @@ class ServeGateway:
         for attempt in (0, 1):
             active = self._resolve(name)
             try:
-                return active.server.submit(image)
+                return active.server.submit(image, priority=priority, deadline_ms=deadline_ms)
             except ServerClosed:
                 if self._closed or attempt:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def submit_many(self, name: str, images: Sequence[np.ndarray]) -> List["Future[ServeResult]"]:
+    def submit_many(
+        self,
+        name: str,
+        images: Sequence[np.ndarray],
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> List["Future[ServeResult]"]:
         """Submit a sequence of independent requests to one model (FIFO)."""
-        return [self.submit(name, image) for image in images]
+        return [
+            self.submit(name, image, priority=priority, deadline_ms=deadline_ms)
+            for image in images
+        ]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -195,6 +248,10 @@ class ServeGateway:
             raise RegistryError(f"model {name!r} is not active on this gateway")
         return active.server.telemetry
 
+    def scale_events(self, name: str) -> List[Dict[str, Any]]:
+        """The named model's recorded autoscale events (oldest first)."""
+        return self.telemetry(name).scale_events()
+
     def summary(self) -> Dict[str, Any]:
         """Aggregated gateway snapshot with per-model breakdowns.
 
@@ -212,7 +269,10 @@ class ServeGateway:
             "requests": 0.0,
             "admitted": 0.0,
             "shed": 0.0,
+            "shed_high": 0.0,
             "reloads": 0.0,
+            "scale_ups": 0.0,
+            "scale_downs": 0.0,
             "queue_high_water": 0.0,
         }
         for name, model in sorted(active.items()):
@@ -223,7 +283,10 @@ class ServeGateway:
             totals["requests"] += per_model["requests"]
             totals["admitted"] += per_model["admitted"]
             totals["shed"] += per_model["shed"]
+            totals["shed_high"] += per_model.get("shed_high", 0.0)
             totals["reloads"] += float(model.reloads)
+            totals["scale_ups"] += per_model.get("scale_ups", 0.0)
+            totals["scale_downs"] += per_model.get("scale_downs", 0.0)
             totals["queue_high_water"] = max(totals["queue_high_water"], per_model["queue_high_water"])
         return {"models": models, "totals": totals}
 
@@ -233,18 +296,44 @@ class ServeGateway:
     def _make_server(
         self, entry: RegisteredModel, telemetry: Optional[ServeTelemetry] = None
     ) -> InferenceServer:
-        pool = CompiledNetworkPool(entry.model, max_idle=self.workers)
+        # Under autoscaling the control loop owns capacity end to end, so
+        # servers start at the policy baseline, not the gateway defaults.
+        workers = self.autoscale.min_workers if self.autoscale else self.workers
+        max_batch = self.autoscale.min_batch if self.autoscale else self.max_batch
+        pool = CompiledNetworkPool(entry.model, max_idle=workers)
         server = InferenceServer(
             pool,
             entry.encoder,
-            max_batch=self.max_batch,
+            max_batch=max_batch,
             max_wait_ms=self.max_wait_ms,
-            workers=self.workers,
+            workers=workers,
             max_queue=self.max_queue,
             overload=self.overload,
             telemetry=telemetry,
         )
         return server.start()
+
+    def _ensure_autoscale_thread_locked(self) -> None:
+        """Start the shared sampling thread on first activation (gateway lock held)."""
+        if self._autoscale_thread is None and not self._closed:
+            self._autoscale_thread = threading.Thread(
+                target=self._autoscale_loop, name="repro-serve-autoscale", daemon=True
+            )
+            self._autoscale_thread.start()
+
+    def _autoscale_loop(self) -> None:
+        """Sample every active model's autoscaler on a fixed cadence."""
+        while not self._stop_event.wait(self.autoscale_interval_s):
+            with self._lock:
+                if self._closed:
+                    return
+                scalers = [
+                    model.autoscaler
+                    for model in self._active.values()
+                    if model.autoscaler is not None
+                ]
+            for scaler in scalers:
+                scaler.sample()
 
     def _creation_lock(self, name: str) -> threading.Lock:
         with self._lock:
@@ -274,6 +363,10 @@ class ServeGateway:
                         signature=signature,
                         last_check=time.monotonic(),
                     )
+                    if self.autoscale is not None:
+                        active.autoscaler = ModelAutoscaler(
+                            active.server, self.autoscale, name=name
+                        )
                     with self._lock:
                         if self._closed:
                             # stop() already swept _active; don't leak a
@@ -281,6 +374,8 @@ class ServeGateway:
                             active.server.stop(drain=False)
                             raise ServerClosed("gateway has been stopped")
                         self._active[name] = active
+                        if active.autoscaler is not None:
+                            self._ensure_autoscale_thread_locked()
                     return active
         self._maybe_reload(active)
         return active
@@ -348,6 +443,13 @@ class ServeGateway:
                 retired = active.server
                 retired.telemetry.reset_activity()
                 active.server = self._make_server(entry, telemetry=retired.telemetry)
+                if self.autoscale is not None:
+                    # The fresh server restarts at the ladder baseline; the
+                    # inherited telemetry keeps scale/lane counters and the
+                    # scale-event history continuous across the reload.
+                    active.autoscaler = ModelAutoscaler(
+                        active.server, self.autoscale, name=active.name
+                    )
                 served_model = new_model
             active.entry = RegisteredModel(
                 name=active.name,
@@ -385,6 +487,7 @@ def format_gateway_summary(summary: Dict[str, Any], title: str = "Gateway teleme
     lines.append(
         f"  totals: {totals.get('models', 0):.0f} models, "
         f"{totals.get('requests', 0):.0f} served, {totals.get('shed', 0):.0f} shed, "
-        f"{totals.get('reloads', 0):.0f} reloads"
+        f"{totals.get('reloads', 0):.0f} reloads, "
+        f"{totals.get('scale_ups', 0):.0f}/{totals.get('scale_downs', 0):.0f} scale up/down"
     )
     return "\n".join(lines)

@@ -41,6 +41,32 @@ policies:
 Admission decisions (admitted count, shed count, queue-depth high-water
 mark) are surfaced through the server's telemetry alongside latency and
 throughput.
+
+Priority lanes and deadlines (SLO-aware scheduling)
+---------------------------------------------------
+Every request carries a ``priority`` lane (0 = normal, higher = more
+important) and an optional ``deadline_ms`` latency budget:
+
+* Under shed-mode overload, **low-priority traffic is shed first**: a
+  higher-priority arrival that finds the queue full *evicts* the
+  lowest-priority (latest-arrival among ties) waiting request instead of
+  being rejected itself; the evicted request's future fails with
+  :class:`ServerOverloaded` and the shed is counted against *its* lane.
+  Only when every waiting request has equal or higher priority is the new
+  arrival shed.  Dispatch order stays strictly FIFO — priority decides who
+  is sacrificed under overload, never who barges ahead, so the
+  deterministic-batching bit-identity contract is unchanged.
+* A ``deadline_ms`` steers batching, not dropping: the dispatcher cuts a
+  batch early when any waiting request is within ``deadline_margin_ms`` of
+  its deadline, instead of waiting out ``max_wait_ms`` for more company
+  (FIFO dispatch means the urgent request is always in the cut batch).
+  A request whose deadline has already passed is still served.
+
+Capacity is live-adjustable: :meth:`InferenceServer.resize` retargets the
+worker count and ``max_batch`` between batches — queued work is never
+dropped, in-flight batches finish untouched — which is the actuator the
+closed-loop autoscaler (:mod:`repro.serve.autoscaler`) drives against
+telemetry.
 """
 
 from __future__ import annotations
@@ -48,7 +74,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Union
 
@@ -97,6 +123,8 @@ class ServeResult:
     sequence:
         Admission order: the 0-based position of this request among every
         request this server ever admitted (sheds do not consume a number).
+    priority:
+        The priority lane the request was submitted on (0 = normal).
     """
 
     prediction: int
@@ -106,6 +134,7 @@ class ServeResult:
     batch_size: int
     input_density: float
     sequence: int = 0
+    priority: int = 0
 
 
 @dataclass
@@ -116,6 +145,8 @@ class _Pending:
     queued: float  # when the request entered the queue (batching deadline)
     input_density: float
     sequence: int  # admission order (see ServeResult.sequence)
+    priority: int = 0  # shed order under overload (lowest lane goes first)
+    deadline: Optional[float] = None  # absolute perf_counter deadline, or None
 
 
 class InferenceServer:
@@ -140,6 +171,12 @@ class InferenceServer:
     workers:
         Concurrent batch executors.  Each worker checks out its own
         compiled plan, so ``workers`` bounds the plans ever compiled.
+        Live-adjustable through :meth:`resize`.
+    deadline_margin_ms:
+        Safety margin for deadline-aware batch cutoffs: a batch is
+        dispatched as soon as any waiting request is within this many
+        milliseconds of its ``deadline_ms`` budget (leaving that margin for
+        the batch to actually execute).
     max_queue:
         Admission-control cap on the number of *waiting* requests
         (``None`` = unbounded, the historical behaviour).  Requests being
@@ -172,6 +209,7 @@ class InferenceServer:
         max_queue: Optional[int] = None,
         overload: str = OVERLOAD_SHED,
         telemetry: Optional[ServeTelemetry] = None,
+        deadline_margin_ms: float = 5.0,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
@@ -183,11 +221,14 @@ class InferenceServer:
             raise ValueError(f"max_queue must be at least 1 (or None), got {max_queue}")
         if overload not in _OVERLOAD_POLICIES:
             raise ValueError(f"overload must be one of {_OVERLOAD_POLICIES}, got {overload!r}")
+        if deadline_margin_ms < 0:
+            raise ValueError(f"deadline_margin_ms must be non-negative, got {deadline_margin_ms}")
         self.pool = model if isinstance(model, CompiledNetworkPool) else CompiledNetworkPool(model, max_idle=workers)
         self.encoder = encoder
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.workers = int(workers)
+        self.deadline_margin = float(deadline_margin_ms) / 1000.0
         self.max_queue = int(max_queue) if max_queue is not None else None
         self.overload = overload
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
@@ -199,14 +240,20 @@ class InferenceServer:
         # stalling the dispatcher, which waits on the queue condition.
         self._encode_lock = threading.Lock()
         self._queue: Deque[_Pending] = deque()
+        # Batches the dispatcher has cut, waiting for a worker thread.
+        self._ready: Deque[List[_Pending]] = deque()
         # Back-pressure turnstile: one opaque token per blocked submitter,
         # in arrival order; the head waiter is admitted first (no barging).
         self._blocked: Deque[object] = deque()
         self._sequence = 0
         self._closed = False
         self._draining = True
+        self._dispatch_done = False
         self._dispatcher: Optional[threading.Thread] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
+        # Worker threads are owned directly (not via a ThreadPoolExecutor)
+        # so resize() can grow and shrink the pool while serving.
+        self._worker_threads: List[threading.Thread] = []
+        self._live_workers = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -218,14 +265,60 @@ class InferenceServer:
                 raise ServerClosed("server has been stopped")
             if self._dispatcher is not None:
                 return self
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-serve"
-            )
             self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
             )
+            self._spawn_workers_locked()
             self._dispatcher.start()
         return self
+
+    def _spawn_workers_locked(self) -> None:
+        """Bring the live worker-thread count up to ``self.workers`` (cv held)."""
+        while self._live_workers < self.workers:
+            self._live_workers += 1
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{len(self._worker_threads)}",
+                daemon=True,
+            )
+            self._worker_threads.append(thread)
+            thread.start()
+
+    def resize(self, workers: Optional[int] = None, max_batch: Optional[int] = None) -> bool:
+        """Retarget serving capacity live; returns whether anything changed.
+
+        ``max_batch`` takes effect at the next batch cut; ``workers`` grows
+        by starting threads immediately and shrinks by letting surplus
+        threads retire after the batch they are running (in-flight batches
+        always finish; queued work is never dropped).  The compiled-plan
+        pool's idle retention is resized in lockstep so the pool neither
+        hoards plans after a scale-down nor recompiles on every batch after
+        a scale-up.  This is the autoscaler's actuator, but it is safe to
+        call from anywhere, including on a server that has not started.
+        """
+        changed = False
+        with self._cv:
+            if max_batch is not None:
+                max_batch = int(max_batch)
+                if max_batch < 1:
+                    raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+                if max_batch != self.max_batch:
+                    self.max_batch = max_batch
+                    changed = True
+            if workers is not None:
+                workers = int(workers)
+                if workers < 1:
+                    raise ValueError(f"workers must be at least 1, got {workers}")
+                if workers != self.workers:
+                    self.workers = workers
+                    changed = True
+                    if self._dispatcher is not None and not self._closed:
+                        self._spawn_workers_locked()
+            if changed:
+                self._cv.notify_all()
+        if changed:
+            self.pool.resize(self.workers)
+        return changed
 
     def stop(self, drain: bool = True) -> None:
         """Shut down; by default finishes all queued work first.
@@ -237,11 +330,13 @@ class InferenceServer:
                 return
             self._closed = True
             self._draining = drain
+            if self._dispatcher is None:
+                self._dispatch_done = True  # nothing will ever cut a batch
             self._cv.notify_all()
         if self._dispatcher is not None:
             self._dispatcher.join()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        for thread in list(self._worker_threads):
+            thread.join()
         # Anything still queued was abandoned (drain=False, or never started).
         abandoned: List[_Pending] = []
         with self._cv:
@@ -257,6 +352,28 @@ class InferenceServer:
         self.stop(drain=exc_type is None)
 
     # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests currently waiting to be batched."""
+        with self._cv:
+            return len(self._queue)
+
+    @property
+    def oldest_queue_age_ms(self) -> float:
+        """Age (ms) of the oldest waiting request — 0.0 when the queue is empty.
+
+        This is the autoscaler's primary load signal: it rises as soon as
+        arrivals outpace service and falls back to ~0 the moment the queue
+        drains, with none of the lag a latency-percentile window has.
+        """
+        with self._cv:
+            if not self._queue:
+                return 0.0
+            return (time.perf_counter() - self._queue[0].queued) * 1000.0
+
+    # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
     def _queue_full_locked(self) -> bool:
@@ -267,17 +384,50 @@ class InferenceServer:
         # arrival must not slip past them even if a slot is currently free.
         return len(self._queue) >= self.max_queue or bool(self._blocked)
 
-    def _admit_locked(self) -> None:
+    def _shed_victim_locked(self, priority: int) -> Optional[int]:
+        """Index of the queued request a ``priority`` arrival may evict.
+
+        The victim is the lowest-priority waiting request, breaking ties
+        toward the latest arrival (least sunk queueing time); only requests
+        in a strictly lower lane than the new arrival qualify.  ``None``
+        when the whole queue is at or above ``priority``.
+        """
+        if not self._queue:
+            return None
+        victim = min(
+            range(len(self._queue)),
+            key=lambda i: (self._queue[i].priority, -i),
+        )
+        if self._queue[victim].priority < priority:
+            return victim
+        return None
+
+    def _admit_locked(self, priority: int = 0) -> None:
         """Apply the overload policy; returns with a queue slot available.
 
-        Must be called with ``self._cv`` held.  Raises
-        :class:`ServerOverloaded` (shed policy) or :class:`ServerClosed`
-        (server stopped while the submitter was blocked).
+        Must be called with ``self._cv`` held.  Under the shed policy a
+        full queue first looks for a lower-priority victim to evict (shed
+        low-priority traffic first); failing that the new arrival itself
+        is shed with :class:`ServerOverloaded`.  The block policy is plain
+        FIFO back-pressure regardless of priority; it raises
+        :class:`ServerClosed` if the server stops while the submitter
+        waits.
         """
         if not self._queue_full_locked():
             return
         if self.overload == OVERLOAD_SHED:
-            self.telemetry.record_shed()
+            victim = self._shed_victim_locked(priority)
+            if victim is not None:
+                evicted = self._queue[victim]
+                del self._queue[victim]
+                self.telemetry.record_shed(priority=evicted.priority)
+                evicted.future.set_exception(
+                    ServerOverloaded(
+                        f"evicted from a full queue by a priority-{priority} arrival"
+                    )
+                )
+                return
+            self.telemetry.record_shed(priority=priority)
             raise ServerOverloaded(
                 f"queue full ({self.max_queue} waiting requests); request shed"
             )
@@ -294,7 +444,25 @@ class InferenceServer:
             self._blocked.remove(token)
             self._cv.notify_all()
 
-    def submit(self, image: np.ndarray) -> "Future[ServeResult]":
+    def _shed_would_reject_locked(self, priority: int) -> bool:
+        """Whether a shed-mode arrival would be rejected outright (cv held).
+
+        Used for the pre-encode fast path: an arrival that could only be
+        admitted by evicting a victim is *not* rejected here — the eviction
+        itself is deferred to the authoritative post-encode admission, so a
+        request that later loses a race for the slot never evicts anyone
+        for nothing.
+        """
+        if not self._queue_full_locked():
+            return False
+        return self._shed_victim_locked(priority) is None
+
+    def submit(
+        self,
+        image: np.ndarray,
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> "Future[ServeResult]":
         """Queue one raw image; returns a future resolving to a :class:`ServeResult`.
 
         The image is encoded synchronously (so encoder errors surface here,
@@ -302,17 +470,30 @@ class InferenceServer:
         With ``max_queue`` set, admission control runs first: shed mode
         raises :class:`ServerOverloaded` before the encode is paid; block
         mode encodes, then waits for a queue slot in FIFO arrival order.
+
+        ``priority`` picks the request's shed lane (higher lanes are shed
+        last and may evict lower-lane traffic from a full queue);
+        ``deadline_ms`` is a latency budget from *now* that makes the
+        dispatcher cut a batch early rather than let this request blow it
+        waiting for company.
         """
         image = np.asarray(image, dtype=np.float32)
         submitted = time.perf_counter()
+        priority = int(priority)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
         if self._closed:
             raise ServerClosed("cannot submit to a stopped server")
         if self.max_queue is not None and self.overload == OVERLOAD_SHED:
             # Fail fast before the (dominant) encode cost; the authoritative
-            # check under the lock below still guards against races.  In
-            # shed mode _admit_locked never blocks: it returns or raises.
+            # admission under the lock below still guards against races and
+            # performs any eviction.
             with self._cv:
-                self._admit_locked()
+                if self._shed_would_reject_locked(priority):
+                    self.telemetry.record_shed(priority=priority)
+                    raise ServerOverloaded(
+                        f"queue full ({self.max_queue} waiting requests); request shed"
+                    )
         if getattr(self.encoder, "stochastic", True):
             # Only stochastic encoders need submission-order serialisation
             # (the RNG stream); deterministic ones encode fully in parallel.
@@ -325,11 +506,13 @@ class InferenceServer:
         with self._cv:
             if self._closed:
                 raise ServerClosed("cannot submit to a stopped server")
-            self._admit_locked()
+            self._admit_locked(priority)
             sequence = self._sequence
             self._sequence += 1
             # The wait-for-company clock starts at queue entry, not at
             # submit: encoding time must not eat into the max_wait window.
+            # The deadline clock starts at submit — the caller's latency
+            # budget covers the encode too.
             self._queue.append(
                 _Pending(
                     spikes=spikes,
@@ -338,52 +521,109 @@ class InferenceServer:
                     queued=time.perf_counter(),
                     input_density=density,
                     sequence=sequence,
+                    priority=priority,
+                    deadline=submitted + deadline_ms / 1000.0 if deadline_ms is not None else None,
                 )
             )
-            self.telemetry.record_admission(len(self._queue))
+            self.telemetry.record_admission(len(self._queue), priority=priority)
             self._cv.notify_all()
         return future
 
-    def submit_many(self, images: Sequence[np.ndarray]) -> List["Future[ServeResult]"]:
+    def submit_many(
+        self,
+        images: Sequence[np.ndarray],
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> List["Future[ServeResult]"]:
         """Submit a sequence of independent single-image requests (FIFO order)."""
-        return [self.submit(image) for image in images]
+        return [self.submit(image, priority=priority, deadline_ms=deadline_ms) for image in images]
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
+    def _cutoff_locked(self) -> tuple[float, float]:
+        """(wait cutoff, effective cutoff) for the current queue (cv held).
+
+        The wait cutoff is when the oldest request exhausts ``max_wait``;
+        the effective cutoff additionally honours every queued request's
+        deadline minus the dispatch margin — whichever urgency comes first
+        cuts the batch.
+        """
+        wait_cutoff = self._queue[0].queued + self.max_wait
+        cutoff = wait_cutoff
+        for pending in self._queue:
+            if pending.deadline is not None:
+                cutoff = min(cutoff, pending.deadline - self.deadline_margin)
+        return wait_cutoff, cutoff
+
     def _take_batch(self) -> Optional[List[_Pending]]:
         """Block until a batch is ready (or shutdown); pop and return it."""
         with self._cv:
+            deadline_cut = False
             while True:
                 if self._queue:
                     if len(self._queue) >= self.max_batch or self._closed:
                         break
-                    deadline = self._queue[0].queued + self.max_wait
-                    remaining = deadline - time.perf_counter()
-                    if remaining <= 0:
+                    wait_cutoff, cutoff = self._cutoff_locked()
+                    now = time.perf_counter()
+                    if cutoff - now <= 0:
+                        # An early cut that beats the max_wait window can
+                        # only have come from a deadline-driven cutoff.
+                        deadline_cut = now < wait_cutoff
                         break
-                    self._cv.wait(timeout=remaining)
+                    self._cv.wait(timeout=cutoff - now)
                 else:
                     if self._closed:
                         return None
                     # Both wake sources (submit, stop) notify under this
                     # condition, so an idle dispatcher blocks without polling.
                     self._cv.wait()
+            if deadline_cut:
+                self.telemetry.record_deadline_dispatch()
             batch = [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
             # Freed queue slots: wake back-pressured submitters (FIFO).
             self._cv.notify_all()
             return batch
 
     def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                batch = self._take_batch()
+                if batch is None:
+                    return
+                if self._closed and not self._draining:
+                    for pending in batch:
+                        pending.future.set_exception(
+                            ServerClosed("server stopped before the request ran")
+                        )
+                    continue
+                with self._cv:
+                    self._ready.append(batch)
+                    self._cv.notify_all()
+        finally:
+            # Workers drain whatever is in _ready, then retire.
+            with self._cv:
+                self._dispatch_done = True
+                self._cv.notify_all()
+
+    def _worker_loop(self) -> None:
         while True:
-            batch = self._take_batch()
-            if batch is None:
-                return
-            if self._closed and not self._draining:
-                for pending in batch:
-                    pending.future.set_exception(ServerClosed("server stopped before the request ran"))
-                continue
-            self._executor.submit(self._run_batch, batch)
+            with self._cv:
+                while True:
+                    if self._live_workers > self.workers:
+                        # Scale-down: surplus workers retire between batches.
+                        self._live_workers -= 1
+                        self._cv.notify_all()
+                        return
+                    if self._ready:
+                        batch = self._ready.popleft()
+                        break
+                    if self._closed and self._dispatch_done:
+                        self._live_workers -= 1
+                        self._cv.notify_all()
+                        return
+                    self._cv.wait()
+            self._run_batch(batch)
 
     def _run_batch(self, batch: List[_Pending]) -> None:
         try:
@@ -404,6 +644,7 @@ class InferenceServer:
                     queue_ms=(started - pending.submitted) * 1000.0,
                     batch_size=len(batch),
                     input_density=pending.input_density,
+                    priority=pending.priority,
                 )
                 for pending in batch
             ]
@@ -427,6 +668,7 @@ class InferenceServer:
                         batch_size=stat.batch_size,
                         input_density=stat.input_density,
                         sequence=pending.sequence,
+                        priority=pending.priority,
                     )
                 )
         except BaseException as exc:  # noqa: BLE001 - must reach the futures

@@ -13,6 +13,7 @@ traffic (:meth:`ServeTelemetry.hardware_comparison`).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence
@@ -20,6 +21,10 @@ from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.runtime.activity import RuntimeActivity
+
+#: How many most-recent scale events :class:`ServeTelemetry` retains in full
+#: detail (the up/down totals are unbounded counters).
+SCALE_EVENT_HISTORY = 256
 
 
 @dataclass(frozen=True)
@@ -36,12 +41,16 @@ class RequestStat:
         Size of the micro-batch the request was coalesced into.
     input_density:
         Fraction of non-zero elements in the request's encoded spike train.
+    priority:
+        The request's priority lane (0 = normal; higher lanes are shed last
+        under overload).
     """
 
     latency_ms: float
     queue_ms: float
     batch_size: int
     input_density: float
+    priority: int = 0
 
 
 class ServeTelemetry:
@@ -58,7 +67,11 @@ class ServeTelemetry:
     decision* here: :meth:`record_admission` when a request enters the
     queue (tracking the queue-depth high-water mark) and :meth:`record_shed`
     when admission control rejects one — so overload behaviour is visible
-    in the same summary as latency and throughput.
+    in the same summary as latency and throughput.  Both are tracked per
+    priority *lane* (:meth:`lane_counters`), and the autoscaler reports its
+    capacity changes through :meth:`record_scale_event`, so a telemetry
+    snapshot tells the whole closed-loop story: load, admission, shedding
+    order, and how capacity tracked all three.
     """
 
     def __init__(self, window: int = 4096) -> None:
@@ -71,23 +84,79 @@ class ServeTelemetry:
         self.total_batches = 0
         self.total_admitted = 0
         self.total_shed = 0
+        self.total_deadline_dispatches = 0
+        self.total_scale_ups = 0
+        self.total_scale_downs = 0
         self.queue_depth_high_water = 0
         self.activity: Optional[RuntimeActivity] = None
+        self._admitted_by_lane: Dict[int, int] = {}
+        self._shed_by_lane: Dict[int, int] = {}
+        self._scale_events: Deque[Dict[str, Any]] = deque(maxlen=SCALE_EVENT_HISTORY)
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
 
     # ------------------------------------------------------------------ #
-    def record_admission(self, queue_depth: int) -> None:
+    def record_admission(self, queue_depth: int, priority: int = 0) -> None:
         """Count one admitted request and fold in the observed queue depth."""
         with self._lock:
             self.total_admitted += 1
+            lane = int(priority)
+            self._admitted_by_lane[lane] = self._admitted_by_lane.get(lane, 0) + 1
             if queue_depth > self.queue_depth_high_water:
                 self.queue_depth_high_water = queue_depth
 
-    def record_shed(self) -> None:
-        """Count one request rejected by admission control (shed policy)."""
+    def record_shed(self, priority: int = 0) -> None:
+        """Count one request rejected (or evicted) by admission control."""
         with self._lock:
             self.total_shed += 1
+            lane = int(priority)
+            self._shed_by_lane[lane] = self._shed_by_lane.get(lane, 0) + 1
+
+    def record_deadline_dispatch(self) -> None:
+        """Count one batch dispatched early to protect a request's deadline."""
+        with self._lock:
+            self.total_deadline_dispatches += 1
+
+    def record_scale_event(
+        self,
+        direction: str,
+        workers: int,
+        max_batch: int,
+        reason: str = "",
+    ) -> None:
+        """Log one autoscaler capacity change (``direction`` is ``up``/``down``).
+
+        The most recent :data:`SCALE_EVENT_HISTORY` events are kept in full
+        (new capacity, reason, monotonic timestamp) via :meth:`scale_events`;
+        the up/down totals surfaced in :meth:`summary` are unbounded.
+        """
+        with self._lock:
+            if direction == "up":
+                self.total_scale_ups += 1
+            else:
+                self.total_scale_downs += 1
+            self._scale_events.append(
+                {
+                    "time": time.monotonic(),
+                    "direction": direction,
+                    "workers": int(workers),
+                    "max_batch": int(max_batch),
+                    "reason": reason,
+                }
+            )
+
+    def scale_events(self) -> List[Dict[str, Any]]:
+        """The retained scale-event log, oldest first (bounded, see above)."""
+        with self._lock:
+            return list(self._scale_events)
+
+    def lane_counters(self) -> Dict[str, Dict[int, int]]:
+        """Per-priority-lane admission counts: ``{"admitted": {...}, "shed": {...}}``."""
+        with self._lock:
+            return {
+                "admitted": dict(self._admitted_by_lane),
+                "shed": dict(self._shed_by_lane),
+            }
 
     def reset_activity(self) -> None:
         """Drop the accumulated spike activity; keep every other counter.
@@ -131,14 +200,34 @@ class ServeTelemetry:
                 self._last_done = done
 
     # ------------------------------------------------------------------ #
-    def latency_percentiles(self) -> Dict[str, float]:
-        """p50/p95/p99 latency (ms) over the current window (NaN when empty)."""
+    def latency_percentiles(self, last: Optional[int] = None) -> Dict[str, float]:
+        """p50/p95/p99 latency (ms) over the current window (NaN when empty).
+
+        ``last`` restricts the computation to the most recent ``last``
+        requests of the window — the autoscaler uses this to judge *current*
+        latency without old pre-scale requests dragging the percentiles.
+        """
         with self._lock:
-            latencies = [stat.latency_ms for stat in self._stats]
-        if not latencies:
+            stats = list(self._stats)
+        if last is not None:
+            stats = stats[-int(last):]
+        if not stats:
             return {"p50_ms": float("nan"), "p95_ms": float("nan"), "p99_ms": float("nan")}
-        p50, p95, p99 = np.percentile(np.asarray(latencies), [50.0, 95.0, 99.0])
+        latencies = np.asarray([stat.latency_ms for stat in stats])
+        p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
         return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+
+    def queue_percentiles(self, last: Optional[int] = None) -> Dict[str, float]:
+        """p50/p95 queueing delay (ms) over the window (NaN when empty)."""
+        with self._lock:
+            stats = list(self._stats)
+        if last is not None:
+            stats = stats[-int(last):]
+        if not stats:
+            return {"queue_p50_ms": float("nan"), "queue_p95_ms": float("nan")}
+        queue_ms = np.asarray([stat.queue_ms for stat in stats])
+        p50, p95 = np.percentile(queue_ms, [50.0, 95.0])
+        return {"queue_p50_ms": float(p50), "queue_p95_ms": float(p95)}
 
     def achieved_fps(self) -> float:
         """Completed requests per second of wall time since the first submit."""
@@ -174,13 +263,29 @@ class ServeTelemetry:
 
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, float]:
-        """Flat snapshot of every headline serving metric."""
+        """Flat snapshot of every headline serving metric.
+
+        The lane split collapses priorities into two headline numbers:
+        ``*_high`` counts lanes with priority > 0, ``*_low`` the rest —
+        the full per-lane breakdown stays available via
+        :meth:`lane_counters`.
+        """
+        with self._lock:
+            shed_high = sum(n for lane, n in self._shed_by_lane.items() if lane > 0)
+            shed_low = sum(n for lane, n in self._shed_by_lane.items() if lane <= 0)
+            admitted_high = sum(n for lane, n in self._admitted_by_lane.items() if lane > 0)
         out: Dict[str, float] = {
             "requests": float(self.total_requests),
             "batches": float(self.total_batches),
             "admitted": float(self.total_admitted),
+            "admitted_high": float(admitted_high),
             "shed": float(self.total_shed),
+            "shed_high": float(shed_high),
+            "shed_low": float(shed_low),
             "queue_high_water": float(self.queue_depth_high_water),
+            "deadline_dispatches": float(self.total_deadline_dispatches),
+            "scale_ups": float(self.total_scale_ups),
+            "scale_downs": float(self.total_scale_downs),
             "achieved_fps": self.achieved_fps(),
             "mean_batch_size": self.mean_batch_size(),
             "mean_input_density": self.mean_input_density(),
@@ -238,8 +343,16 @@ def format_telemetry(summary: Mapping[str, float], title: str = "Serving telemet
     rows: List[tuple] = [
         ("requests", f"{summary.get('requests', 0):.0f}"),
         ("batches", f"{summary.get('batches', 0):.0f}"),
-        ("shed", f"{summary.get('shed', 0):.0f}"),
+        (
+            "shed (low/high)",
+            f"{summary.get('shed', 0):.0f} "
+            f"({summary.get('shed_low', 0):.0f}/{summary.get('shed_high', 0):.0f})",
+        ),
         ("queue high-water", f"{summary.get('queue_high_water', 0):.0f}"),
+        (
+            "scale up/down",
+            f"{summary.get('scale_ups', 0):.0f}/{summary.get('scale_downs', 0):.0f}",
+        ),
         ("mean batch size", f"{summary.get('mean_batch_size', 0):.2f}"),
         ("achieved fps", f"{summary.get('achieved_fps', 0):.1f}"),
         ("latency p50", f"{summary.get('p50_ms', float('nan')):.3f} ms"),

@@ -94,6 +94,67 @@ class TestConv2d:
         w = t((4, 3, 3, 3), 49)
         assert x.conv2d(w, None, 1, 1).shape == (1, 4, 8, 8)
 
+    @pytest.mark.parametrize(
+        "stride,padding,with_bias",
+        [(1, 0, False), (1, 0, True), (1, 1, False), (1, 1, True), (2, 1, True), (2, 0, False)],
+    )
+    def test_forward_bit_identical_to_tensordot_reference(self, stride, padding, with_bias):
+        # The pooled-scratch forward must reproduce the original
+        # pad + tensordot path bit-for-bit, not just approximately.
+        rng = np.random.default_rng(400 + stride * 10 + padding * 2 + with_bias)
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4) if with_bias else None
+
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        from numpy.lib.stride_tricks import as_strided
+
+        n, c, h, wd = xp.shape
+        oh = (h - 3) // stride + 1
+        ow = (wd - 3) // stride + 1
+        sn, sc, sh, sw = xp.strides
+        cols = as_strided(
+            xp, shape=(n, c, 3, 3, oh, ow), strides=(sn, sc, sh, sw, sh * stride, sw * stride)
+        )
+        ref = np.tensordot(cols, w, axes=([1, 2, 3], [1, 2, 3])).transpose(0, 3, 1, 2)
+        if b is not None:
+            ref = ref + b[None, :, None, None]
+
+        out = Tensor(x).conv2d(Tensor(w), None if b is None else Tensor(b), stride, padding)
+        np.testing.assert_array_equal(out.numpy(), np.ascontiguousarray(ref))
+
+    def test_scratch_reuse_keeps_ctx_arrays_alive_across_calls(self):
+        # Two forwards back-to-back share the pooled scratch; the first call's
+        # ctx must survive the second call's scratch reuse, so both backwards
+        # still produce correct (and correctly distinct) gradients.
+        x1, x2 = t((1, 2, 5, 5), 50, 0.5), t((1, 2, 5, 5), 51, 0.5)
+        w = t((3, 2, 3, 3), 52, 0.5)
+        out1 = x1.conv2d(w, None, 1, 1)
+        out2 = x2.conv2d(w, None, 1, 1)
+        (out1.sum() + out2.sum()).backward()
+
+        def lone_grad(xt):
+            x = Tensor(xt.numpy(), requires_grad=True)
+            wl = Tensor(w.numpy(), requires_grad=True)
+            x.conv2d(wl, None, 1, 1).sum().backward()
+            return x.grad, wl.grad
+
+        g1, gw1 = lone_grad(x1)
+        g2, gw2 = lone_grad(x2)
+        np.testing.assert_array_equal(x1.grad, g1)
+        np.testing.assert_array_equal(x2.grad, g2)
+        np.testing.assert_array_equal(w.grad, gw1 + gw2)
+
+    def test_forward_output_is_not_scratch_backed(self):
+        # The returned array enters the autograd graph and must be a fresh
+        # allocation: a later conv at the same shape must not overwrite it.
+        x = t((1, 1, 5, 5), 53)
+        w = t((2, 1, 3, 3), 54)
+        out = x.conv2d(w, None, 1, 1).numpy()
+        snapshot = out.copy()
+        t((1, 1, 5, 5), 55).conv2d(t((2, 1, 3, 3), 56), None, 1, 1)
+        np.testing.assert_array_equal(out, snapshot)
+
 
 class TestPooling:
     def test_maxpool_forward(self):

@@ -1,0 +1,375 @@
+"""Autoscaler control law, SLO-aware scheduling, and scale-event telemetry."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import make_dataset, make_encoder, make_model
+from repro.runtime import compile_network
+from repro.serve import (
+    AutoscalePolicy,
+    InferenceServer,
+    ModelAutoscaler,
+    ModelRegistry,
+    RequestStat,
+    ServeGateway,
+    ServeTelemetry,
+    ServerOverloaded,
+)
+
+
+@pytest.fixture
+def micro_config(micro_scale) -> ExperimentConfig:
+    return ExperimentConfig(scale=micro_scale, seed=0)
+
+
+@pytest.fixture
+def served(micro_config):
+    """Untrained model + encoder + images (weights are deterministic)."""
+    model = make_model(micro_config)
+    model.eval()
+    return model, make_encoder(micro_config), _images(micro_config)
+
+
+def _images(config):
+    _, test_loader = make_dataset(config)
+    collected = []
+    for batch_images, _ in test_loader:
+        collected.extend(list(batch_images))
+    return collected
+
+
+class _FakeServer:
+    """Signal/actuator stub so control-law tests are timing-free."""
+
+    def __init__(self):
+        self.telemetry = ServeTelemetry()
+        self.queue_age_ms = 0.0
+        self.workers = None
+        self.max_batch = None
+        self.resizes = []
+
+    @property
+    def oldest_queue_age_ms(self):
+        return self.queue_age_ms
+
+    def resize(self, workers=None, max_batch=None):
+        self.resizes.append((workers, max_batch))
+        self.workers, self.max_batch = workers, max_batch
+        return True
+
+
+class TestAutoscalePolicy:
+    def test_ladder_math(self):
+        policy = AutoscalePolicy(min_workers=1, max_workers=3, min_batch=4, max_batch=32)
+        assert [policy.workers_at(level) for level in range(4)] == [1, 2, 3, 3]
+        assert [policy.batch_at(level) for level in range(4)] == [4, 8, 16, 32]
+        assert policy.max_level == 3
+        assert policy.workers_at(policy.max_level) == 3
+        assert policy.batch_at(policy.max_level) == 32
+
+    def test_degenerate_ladder_has_level_zero_only(self):
+        policy = AutoscalePolicy(min_workers=2, max_workers=2, min_batch=8, max_batch=8)
+        assert policy.max_level == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_workers": 0},
+            {"max_workers": 1, "min_workers": 2},
+            {"min_batch": 0},
+            {"max_batch": 4, "min_batch": 8},
+            {"target_queue_age_ms": 0.0},
+            {"target_p95_ms": -1.0},
+            {"scale_up_after": 0},
+            {"scale_down_after": 0},
+            {"cooldown_s": -0.1},
+            {"window": 0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(**kwargs)
+
+
+class TestControlLaw:
+    def _scaler(self, **kwargs):
+        defaults = dict(
+            min_workers=1,
+            max_workers=3,
+            min_batch=4,
+            max_batch=16,
+            target_queue_age_ms=10.0,
+            scale_up_after=2,
+            scale_down_after=3,
+            cooldown_s=1.0,
+        )
+        defaults.update(kwargs)
+        server = _FakeServer()
+        return server, ModelAutoscaler(server, AutoscalePolicy(**defaults), name="m")
+
+    def test_constructor_applies_the_baseline(self):
+        server, scaler = self._scaler()
+        assert server.resizes == [(1, 4)]
+        assert scaler.level == 0
+
+    def test_hot_streak_scales_up_with_hysteresis(self):
+        server, scaler = self._scaler()
+        server.queue_age_ms = 50.0
+        assert scaler.sample(now=0.0) is None  # one hot sample is noise
+        assert scaler.sample(now=0.1) == "up"
+        assert scaler.level == 1
+        assert server.workers == 2 and server.max_batch == 8
+        assert server.telemetry.total_scale_ups == 1
+
+    def test_single_hot_sample_between_idle_ones_never_scales(self):
+        server, scaler = self._scaler()
+        for step in range(6):
+            server.queue_age_ms = 50.0 if step % 2 == 0 else 5.0
+            assert scaler.sample(now=step * 0.1) is None
+        assert scaler.level == 0
+
+    def test_cooldown_spaces_scale_events(self):
+        server, scaler = self._scaler()
+        server.queue_age_ms = 50.0
+        scaler.sample(now=0.0)
+        assert scaler.sample(now=0.1) == "up"
+        # Still hot: the streak rebuilds but the cooldown gates the step.
+        assert scaler.sample(now=0.2) is None
+        assert scaler.sample(now=0.3) is None
+        assert scaler.sample(now=1.5) == "up"
+        assert scaler.level == 2
+
+    def test_ladder_saturates_at_max_level(self):
+        server, scaler = self._scaler(cooldown_s=0.0)
+        server.queue_age_ms = 50.0
+        for step in range(20):
+            scaler.sample(now=float(step))
+        assert scaler.level == scaler.policy.max_level
+        assert server.workers == 3 and server.max_batch == 16
+
+    def test_cold_streak_scales_down_to_the_floor(self):
+        server, scaler = self._scaler(cooldown_s=0.0)
+        server.queue_age_ms = 50.0
+        for step in range(4):
+            scaler.sample(now=float(step))
+        assert scaler.level == 2
+        server.queue_age_ms = 0.0
+        directions = [scaler.sample(now=10.0 + step) for step in range(10)]
+        assert directions.count("down") == 2
+        assert scaler.level == 0
+        assert server.workers == 1 and server.max_batch == 4
+        # At the floor an empty queue is the normal idle state, not cold.
+        assert scaler.sample(now=50.0) is None
+        assert server.telemetry.total_scale_downs == 2
+
+    def test_latency_slo_signal_scales_up_without_queue_pressure(self):
+        server, scaler = self._scaler(target_p95_ms=20.0)
+        for latency in (30.0, 35.0, 40.0):
+            server.telemetry.record_batch(
+                [RequestStat(latency_ms=latency, queue_ms=1.0, batch_size=1, input_density=0.1)],
+                None,
+                first_submit=0.0,
+                done=latency / 1000.0,
+            )
+        assert scaler.sample(now=0.0) is None
+        assert scaler.sample(now=0.1) == "up"
+
+    def test_scale_events_carry_signals_and_config(self):
+        server, scaler = self._scaler()
+        server.queue_age_ms = 42.0
+        scaler.sample(now=0.0)
+        scaler.sample(now=0.1)
+        (event,) = server.telemetry.scale_events()
+        assert event["direction"] == "up"
+        assert event["workers"] == 2 and event["max_batch"] == 8
+        assert "queue_age_ms=42.0" in event["reason"] and "m: level 0->1" in event["reason"]
+
+
+class TestSloAwareScheduling:
+    def test_resize_mid_drain_is_lossless_and_bit_identical(self, served, micro_config):
+        """Scale events must never drop queued work or perturb outputs."""
+        model, encoder, images = served
+        images = (images * 4)[:24]
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=50.0, workers=1)
+        futures = server.submit_many(images)
+        server.start()
+        assert server.resize(workers=3) is True
+        results = [future.result(timeout=60) for future in futures[:12]]
+        assert server.resize(workers=1) is True
+        results += [future.result(timeout=60) for future in futures[12:]]
+        server.stop()
+
+        # A fresh encoder replays the serving encoder's stream from the top
+        # (required for stochastic encoders: the served instance has moved on).
+        reference_encoder = make_encoder(micro_config)
+        plan = compile_network(model)
+        reference = []
+        for start in range(0, len(images), 4):
+            batch = np.concatenate(
+                [reference_encoder(img[None]) for img in images[start : start + 4]], axis=1
+            )
+            reference.append(plan.run(batch, record_activity=False).counts)
+        np.testing.assert_array_equal(
+            np.stack([r.counts for r in results]), np.concatenate(reference)
+        )
+        assert server.pool.max_idle == 1  # pool retention follows the last resize
+
+    def test_resize_validates_and_reports_no_change(self, served):
+        model, encoder, _ = served
+        server = InferenceServer(model, encoder, workers=2, max_batch=8)
+        assert server.resize(workers=2, max_batch=8) is False
+        with pytest.raises(ValueError):
+            server.resize(workers=0)
+        with pytest.raises(ValueError):
+            server.resize(max_batch=0)
+
+    def test_deadline_cuts_the_batch_early(self, served):
+        model, encoder, images = served
+        # Alone, a request would wait out the full 10s max_wait window; its
+        # 80ms deadline budget (minus the 5ms margin) must cut the batch.
+        server = InferenceServer(
+            model, encoder, max_batch=64, max_wait_ms=10_000.0, deadline_margin_ms=5.0
+        )
+        with server:
+            start = time.perf_counter()
+            result = server.submit(images[0], deadline_ms=80.0).result(timeout=30)
+            elapsed_s = time.perf_counter() - start
+        assert elapsed_s < 5.0, "deadline cutoff never fired"
+        assert result.batch_size == 1
+        assert server.telemetry.total_deadline_dispatches >= 1
+
+    def test_deadline_must_be_positive(self, served):
+        model, encoder, images = served
+        server = InferenceServer(model, encoder)
+        with pytest.raises(ValueError):
+            server.submit(images[0], deadline_ms=0.0)
+
+    def test_high_priority_evicts_lowest_latest_victim(self, served):
+        model, encoder, images = served
+        server = InferenceServer(model, encoder, max_batch=4, max_queue=2, overload="shed")
+        first = server.submit(images[0])
+        second = server.submit(images[1])
+        with pytest.raises(ServerOverloaded):
+            server.submit(images[2])  # equal priority never evicts
+        third = server.submit(images[3], priority=1)
+        # The latest-arrival low-priority request is sacrificed first...
+        with pytest.raises(ServerOverloaded, match="evicted"):
+            second.result(timeout=5)
+        fourth = server.submit(images[4], priority=1)
+        # ...then the remaining one.
+        with pytest.raises(ServerOverloaded, match="evicted"):
+            first.result(timeout=5)
+        with pytest.raises(ServerOverloaded):
+            server.submit(images[5], priority=1)  # all lanes equal again
+
+        telemetry = server.telemetry
+        assert telemetry.lane_counters() == {
+            "admitted": {0: 2, 1: 2},
+            "shed": {0: 3, 1: 1},
+        }
+        summary = telemetry.summary()
+        assert summary["admitted_high"] == 2
+        assert summary["shed_high"] == 1 and summary["shed_low"] == 3
+
+        server.start()
+        for future in (third, fourth):
+            assert future.result(timeout=30).priority == 1
+        server.stop()
+
+    def test_priority_never_reorders_dispatch(self, served):
+        """Priority is a shed lane, not a fast lane: FIFO order holds."""
+        model, encoder, images = served
+        server = InferenceServer(model, encoder, max_batch=2, max_wait_ms=50.0)
+        futures = [
+            server.submit(images[i % len(images)], priority=i % 3) for i in range(8)
+        ]
+        server.start()
+        sequences = [future.result(timeout=60).sequence for future in futures]
+        server.stop()
+        assert sequences == sorted(sequences)
+
+
+class TestGatewayAutoscaling:
+    def _registry(self, tmp_path, config):
+        registry = ModelRegistry(tmp_path)
+        model = make_model(config)
+        model.eval()
+        registry.save("m", model, make_encoder(config), config=config)
+        return registry
+
+    def test_servers_start_at_the_policy_baseline(self, tmp_path, micro_config):
+        registry = self._registry(tmp_path, micro_config)
+        policy = AutoscalePolicy(min_workers=1, max_workers=2, min_batch=2, max_batch=8)
+        images = _images(micro_config)
+        with ServeGateway(
+            registry, max_batch=64, workers=4, autoscale=policy, autoscale_interval_s=60.0
+        ) as gateway:
+            gateway.submit("m", images[0]).result(timeout=30)
+            server = gateway._active["m"].server
+            # Policy baseline wins over the gateway-level knobs.
+            assert server.workers == 1 and server.max_batch == 2
+            assert gateway._active["m"].autoscaler is not None
+            assert gateway.scale_events("m") == []
+
+    def test_scale_counters_survive_architecture_hot_reload(self, tmp_path, micro_config):
+        registry = self._registry(tmp_path, micro_config)
+        policy = AutoscalePolicy(min_workers=1, max_workers=2, min_batch=2, max_batch=8)
+        images = _images(micro_config)
+        with ServeGateway(
+            registry, autoscale=policy, autoscale_interval_s=60.0
+        ) as gateway:
+            gateway.submit("m", images[0]).result(timeout=30)
+            scaler = gateway._active["m"].autoscaler
+            scaler._step(+1, now=0.0, queue_age=99.0, p95=float("nan"))
+            assert gateway._active["m"].server.workers == 2
+            assert len(gateway.scale_events("m")) == 1
+
+            # A republish with a changed hyperparameter forces the
+            # drain-and-restart path; the fresh server re-enters the ladder
+            # at baseline while the scale history stays continuous.
+            config_v2 = micro_config.with_overrides(beta=0.75)
+            model_v2 = make_model(config_v2)
+            model_v2.eval()
+            registry.save("m", model_v2, make_encoder(config_v2), config=config_v2)
+            gateway.refresh("m")
+
+            active = gateway._active["m"]
+            assert active.server.workers == 1 and active.server.max_batch == 2
+            assert active.autoscaler is not scaler
+            assert active.autoscaler.level == 0
+            assert len(gateway.scale_events("m")) == 1
+            assert gateway.telemetry("m").total_scale_ups == 1
+            assert gateway.summary()["totals"]["scale_ups"] == 1
+            gateway.submit("m", images[1]).result(timeout=30)
+
+    def test_background_loop_scales_up_under_queue_pressure(self, tmp_path, micro_config):
+        registry = self._registry(tmp_path, micro_config)
+        policy = AutoscalePolicy(
+            min_workers=1,
+            max_workers=2,
+            min_batch=2,
+            max_batch=4,
+            target_queue_age_ms=1.0,
+            scale_up_after=2,
+            cooldown_s=0.0,
+        )
+        images = _images(micro_config)
+        # A lone request waits up to 400ms for batch company, so its queue
+        # age reliably exceeds the 1ms target across many 5ms samples —
+        # a deterministic hot streak for the background loop to act on.
+        with ServeGateway(
+            registry, max_wait_ms=400.0, autoscale=policy, autoscale_interval_s=0.005
+        ) as gateway:
+            future = gateway.submit("m", images[0])
+            deadline = time.time() + 10.0
+            while not gateway.scale_events("m") and time.time() < deadline:
+                time.sleep(0.005)
+            events = gateway.scale_events("m")
+            future.result(timeout=60)
+        assert events, "sustained queue pressure never triggered the background loop"
+        assert events[0]["direction"] == "up"

@@ -6,8 +6,21 @@ import numpy as np
 import pytest
 
 from repro.core.config import ExperimentConfig
-from repro.exec import ExperimentCache, ProgressEvent, resolve_cache, resolve_workers, run_experiments
+from repro.exec import (
+    ExperimentCache,
+    ProgressEvent,
+    resolve_cache,
+    resolve_start_method,
+    resolve_workers,
+    run_experiments,
+)
 from repro.exec import executor as executor_mod
+
+# Tests that monkeypatch executor internals and then run a pool must pin
+# fork: spawn workers re-import the module tree and do not inherit patches.
+needs_fork = pytest.mark.skipif(
+    not executor_mod.fork_available(), reason="test relies on fork inheriting monkeypatches"
+)
 
 
 @pytest.fixture
@@ -45,22 +58,42 @@ class TestParallelMatchesSerial:
         for config, record in zip(micro_configs, records):
             assert record.config == config
 
-    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # degradation warning is expected here
-    def test_serial_fallback_without_fork(self, micro_configs, monkeypatch):
-        monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
-        records = run_experiments(micro_configs[:2], workers=4)
-        for a, b in zip(records, run_experiments(micro_configs[:2], workers=1)):
+    def test_spawn_pool_bitwise_identical_to_serial(self, micro_configs):
+        # spawn is the fallback on platforms without fork; workers re-import
+        # and reseed per config, so records must still match serial exactly.
+        serial = run_experiments(micro_configs[:2], workers=1)
+        spawned = run_experiments(micro_configs[:2], workers=2, start_method="spawn")
+        for a, b in zip(serial, spawned):
             _assert_records_identical(a, b)
 
-    def test_serial_fallback_warns_about_degraded_parallelism(self, micro_configs, monkeypatch):
-        monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
-        with pytest.warns(RuntimeWarning, match="'fork' start method is unavailable"):
-            run_experiments(micro_configs[:2], workers=2)
 
-    def test_no_warning_when_parallelism_not_requested(self, micro_configs, monkeypatch, recwarn):
-        monkeypatch.setattr(executor_mod, "fork_available", lambda: False)
-        run_experiments(micro_configs[:1], workers=1)
-        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+class TestStartMethodResolution:
+    def test_default_prefers_fork_else_spawn(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_START_METHOD", raising=False)
+        expected = "fork" if executor_mod.fork_available() else "spawn"
+        assert resolve_start_method(None) == expected
+
+    def test_explicit_argument_wins(self):
+        assert resolve_start_method("spawn") == "spawn"
+
+    def test_unavailable_method_is_an_error(self):
+        with pytest.raises(ValueError, match="not available on this platform"):
+            resolve_start_method("no-such-method")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_START_METHOD", "spawn")
+        assert resolve_start_method(None) == "spawn"
+
+    @pytest.mark.parametrize("malformed", ["", "4", "forkserver-maybe"])
+    def test_malformed_env_falls_back_to_platform_default(self, monkeypatch, malformed):
+        monkeypatch.setenv("REPRO_SWEEP_START_METHOD", malformed)
+        expected = "fork" if executor_mod.fork_available() else "spawn"
+        assert resolve_start_method(None) == expected
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_START_METHOD", "spawn")
+        if executor_mod.fork_available():
+            assert resolve_start_method("fork") == "fork"
 
 
 class TestCachingBehaviour:
@@ -169,6 +202,7 @@ class TestProgressAndWorkers:
             run_experiments(micro_configs[:1], workers=1, progress=events.append)
         assert events[-1].kind == "error"
 
+    @needs_fork
     def test_pool_failure_reports_the_failing_cell(self, micro_configs, monkeypatch):
         failing = micro_configs[1]
 
@@ -178,7 +212,7 @@ class TestProgressAndWorkers:
         monkeypatch.setattr(executor_mod, "run_experiment", _selective_boom)
         events = []
         with pytest.raises(RuntimeError, match="exploded"):
-            run_experiments(micro_configs, workers=2, progress=events.append)
+            run_experiments(micro_configs, workers=2, start_method="fork", progress=events.append)
         errors = [e for e in events if e.kind == "error"]
         assert errors, "pool failure must emit an error event"
         # The event must name the cell that actually failed and carry the
@@ -248,6 +282,7 @@ class TestFailureTransport:
         assert "ValueError: bad hyperparameters" in excinfo.value.traceback
         assert "Traceback" in str(excinfo.value)
 
+    @needs_fork
     def test_unpicklable_exception_is_attributed_not_opaque(self, micro_configs, monkeypatch):
         """An exception holding unpicklable state must not surface as
         multiprocessing's MaybeEncodingError: only its traceback crosses."""
@@ -264,7 +299,9 @@ class TestFailureTransport:
         monkeypatch.setattr(executor_mod, "run_experiment", _boom)
         events = []
         with pytest.raises(CellExecutionError) as excinfo:
-            run_experiments(micro_configs[:2], workers=2, progress=events.append)
+            run_experiments(
+                micro_configs[:2], workers=2, start_method="fork", progress=events.append
+            )
         assert "Unpicklable" in excinfo.value.traceback
         errors = [e for e in events if e.kind == "error"]
         assert errors and errors[0].label == micro_configs[errors[0].index].describe()

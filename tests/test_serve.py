@@ -429,6 +429,57 @@ class TestTelemetryMath:
         assert telemetry.achieved_fps() == 0.0
         assert telemetry.measured_firing_rates() == {}
 
+    def test_zero_admitted_summary_and_rendering(self):
+        """A telemetry window with no admitted requests must still render."""
+        telemetry = ServeTelemetry()
+        summary = telemetry.summary()
+        assert summary["requests"] == 0 and summary["admitted"] == 0
+        assert np.isnan(summary["p50_ms"]) and np.isnan(summary["p99_ms"])
+        assert summary["shed_low"] == 0 and summary["shed_high"] == 0
+        assert summary["scale_ups"] == 0 and summary["scale_downs"] == 0
+        text = format_telemetry(summary)
+        assert "requests" in text and "scale up/down" in text
+        assert np.isnan(telemetry.queue_percentiles()["queue_p95_ms"])
+        assert telemetry.lane_counters() == {"admitted": {}, "shed": {}}
+
+    def test_shed_only_window(self):
+        """Every arrival rejected: sheds counted per lane, percentiles stay NaN."""
+        telemetry = ServeTelemetry()
+        for priority in (0, 0, 1, 0):
+            telemetry.record_shed(priority=priority)
+        summary = telemetry.summary()
+        assert summary["shed"] == 4
+        assert summary["shed_low"] == 3 and summary["shed_high"] == 1
+        assert summary["admitted"] == 0 and summary["requests"] == 0
+        assert np.isnan(summary["p99_ms"])
+        assert "shed (low/high)" in format_telemetry(summary)
+        assert telemetry.lane_counters()["shed"] == {0: 3, 1: 1}
+
+    def test_windowed_percentiles_restrict_to_recent_requests(self):
+        telemetry = ServeTelemetry(window=100)
+        stats = [
+            RequestStat(latency_ms=float(i), queue_ms=float(i) / 2, batch_size=1, input_density=0.5)
+            for i in range(1, 101)
+        ]
+        telemetry.record_batch(stats, None, first_submit=0.0, done=1.0)
+        recent = telemetry.latency_percentiles(last=10)
+        assert recent["p50_ms"] == pytest.approx(95.5)  # over 91..100 only
+        assert telemetry.queue_percentiles(last=10)["queue_p50_ms"] == pytest.approx(95.5 / 2)
+        # A `last` larger than the window degrades to the full window.
+        assert telemetry.latency_percentiles(last=1000) == telemetry.latency_percentiles()
+
+    def test_scale_event_history_is_bounded(self):
+        from repro.serve.telemetry import SCALE_EVENT_HISTORY
+
+        telemetry = ServeTelemetry()
+        for i in range(SCALE_EVENT_HISTORY + 10):
+            telemetry.record_scale_event("up", workers=1, max_batch=8, reason=f"event {i}")
+        events = telemetry.scale_events()
+        assert len(events) == SCALE_EVENT_HISTORY
+        assert events[-1]["reason"] == f"event {SCALE_EVENT_HISTORY + 9}"
+        assert telemetry.total_scale_ups == SCALE_EVENT_HISTORY + 10
+        assert telemetry.summary()["scale_ups"] == SCALE_EVENT_HISTORY + 10
+
     def test_format_helpers_render(self, untrained):
         model, encoder, images = untrained
         server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=10.0)
