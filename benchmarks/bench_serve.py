@@ -21,7 +21,15 @@ Load-tests :mod:`repro.serve` end to end on freshly trained models:
    and (full mode) the admitted-request p99 must stay bounded by the
    worst-case drain time of one full queue — overload sheds load, it does
    not melt latency for the requests that were accepted.
-5. **Autoscale replay** (``test_serve_autoscale``) — a bursty
+5. **Fault storm** (``test_serve_fault_storm``) — closed-loop traffic
+   against a gateway with a deterministic :class:`~repro.serve.FaultInjector`
+   schedule (a breaker-tripping run of kernel faults, a worker death, a
+   slow batch) plus a torn republish mid-run.  Acceptance: every
+   non-faulted request is served bit-identically, the circuit breaker
+   opens and re-closes, the worker pool recovers, the torn republish
+   degrades (not crashes) and the next good publish is picked up, and
+   served-request p99 stays bounded.
+6. **Autoscale replay** (``test_serve_autoscale``) — a bursty
    burst/lull/burst/lull traffic replay (bursts at ``OVERLOAD_FACTOR``
    of baseline capacity, 50% of traffic high-priority with a deadline
    budget) played identically against a fixed-capacity gateway and one
@@ -36,7 +44,7 @@ prediction for the *same measured spike traffic* (see
 ``format_measured_vs_modeled``).  Results go to
 ``benchmarks/results/measured.json`` (headline) and
 ``benchmarks/results/BENCH_serve.json`` (one section per scenario —
-``microbatch``, ``gateway_overload`` and ``autoscale``; see
+``microbatch``, ``gateway_overload``, ``faults`` and ``autoscale``; see
 ``docs/BENCHMARKS.md``).
 """
 
@@ -55,12 +63,18 @@ from repro.hardware.report import format_measured_vs_modeled
 from repro.runtime import compile_network
 from repro.serve import (
     AutoscalePolicy,
+    BreakerPolicy,
+    FaultInjector,
     InferenceServer,
+    InjectedFault,
     ModelRegistry,
+    ModelUnavailable,
+    RequestTimedOut,
     ServeGateway,
     ServerOverloaded,
     format_gateway_summary,
     format_telemetry,
+    tear_checkpoint,
     train_and_register,
 )
 
@@ -397,6 +411,178 @@ def test_serve_gateway_overload(benchmark, bench_smoke, repro_scale, results_sto
         )
 
 
+#: Deterministic storm schedule, keyed by batch index (batch == request in
+#: this leg: the storm drives the gateway closed-loop at ``max_batch=1``).
+STORM_KERNEL_FAULTS = frozenset({3, 4, 5})  # consecutive -> trips the breaker
+STORM_WORKER_DEATH = frozenset({8})
+STORM_SLOW_BATCHES = frozenset({12})
+STORM_SLOW_MS = 5.0
+
+#: Breaker policy for the storm: trips on the third consecutive failure,
+#: probes after a short deterministic backoff (jitter off for replayability).
+STORM_BREAKER = BreakerPolicy(
+    failure_threshold=3, backoff_initial_s=0.05, backoff_max_s=0.5, jitter=0.0
+)
+
+
+def test_serve_fault_storm(benchmark, bench_smoke, repro_scale, results_store, tmp_path):
+    """Availability under injected faults: the storm serves everything it can.
+
+    A deterministic :class:`FaultInjector` schedule drives one gateway
+    through a breaker-tripping run of kernel faults, a worker death and a
+    slow batch, while a torn republish lands mid-run followed by a good
+    one.  Acceptance: every non-faulted request is served **bit-identically**
+    to the offline reference, the breaker opens and re-closes (rejections
+    are fail-fast, not hangs), the worker pool recovers, the torn republish
+    degrades to the old weights, and served-request p99 stays bounded by
+    the clean closed-loop service time.
+    """
+    if bench_smoke:
+        scale = SCALE_PRESETS["smoke"]
+        arrivals = 48
+    else:
+        scale = repro_scale
+        arrivals = 96
+    config = ExperimentConfig(scale=scale, label="fault-storm")
+
+    registry = ModelRegistry(tmp_path / "registry")
+    train_and_register(registry, "storm", config)
+    entry = registry.load("storm")
+    images = _collect_images(config, arrivals)
+    tear_at = arrivals // 2
+
+    # Per-request offline reference (batch size 1 throughout the storm).
+    from repro.training.checkpoint import build_encoder, encoder_spec
+
+    plan = compile_network(entry.model)
+    reference_encoder = build_encoder(encoder_spec(entry.encoder))
+    reference = [
+        plan.run(reference_encoder(image[None]), record_activity=False).counts[0]
+        for image in images
+    ]
+
+    def run():
+        # Clean closed-loop service time first: the storm's p99 bound.
+        warm_n = min(32, arrivals)
+        with ServeGateway(registry, max_batch=1, max_wait_ms=0.0) as warm:
+            start = time.perf_counter()
+            for future in [warm.submit("storm", images[i]) for i in range(warm_n)]:
+                future.result(timeout=300)
+            capacity_fps = warm_n / (time.perf_counter() - start)
+
+        faults = FaultInjector(
+            kernel_fault_batches=STORM_KERNEL_FAULTS,
+            worker_death_batches=STORM_WORKER_DEATH,
+            slow_batches=STORM_SLOW_BATCHES,
+            slow_batch_ms=STORM_SLOW_MS,
+        )
+        gateway = ServeGateway(
+            registry, max_batch=1, max_wait_ms=0.0, breaker=STORM_BREAKER, faults=faults
+        )
+        served = {}
+        faulted = []
+        rejections = 0
+        degraded = recovered = False
+        for i in range(arrivals):
+            if i == tear_at:
+                # Torn republish mid-storm, then a good one right after.
+                tear_checkpoint(registry.checkpoint_path("storm"), seed=0)
+                degraded = gateway.refresh("storm") is False
+                registry.save("storm", entry.model, entry.encoder, config=config)
+                recovered = gateway.refresh("storm") is True
+            for _ in range(100):
+                try:
+                    served[i] = gateway.submit("storm", images[i]).result(timeout=300).counts
+                    break
+                except InjectedFault:
+                    faulted.append(i)  # the injected failure is this request's outcome
+                    break
+                except ModelUnavailable:
+                    rejections += 1  # fail-fast while open; wait out the backoff
+                    time.sleep(STORM_BREAKER.backoff_initial_s * 1.5)
+            else:
+                raise AssertionError(f"request {i} never got through the breaker")
+        telemetry = gateway.telemetry("storm")
+        summary = gateway.summary()
+        breaker_closes = telemetry.total_breaker_closes
+        injected = faults.injected_counts
+        gateway.stop()
+        return (
+            capacity_fps, served, faulted, rejections,
+            degraded, recovered, summary, breaker_closes, injected,
+        )
+
+    (
+        capacity_fps, served, faulted, rejections,
+        degraded, recovered, summary, breaker_closes, injected,
+    ) = run_once(benchmark, run)
+
+    totals = summary["totals"]
+    p99_ms = summary["models"]["storm"]["p99_ms"]
+    # A non-faulted request is one service time; give 10x for scheduling
+    # noise plus the injected slow-batch delay and the worker respawn.
+    p99_bound_ms = 10_000.0 / capacity_fps + 10.0 * STORM_SLOW_MS
+
+    mode = "smoke" if bench_smoke else "full"
+    print()
+    print(
+        f"[faults] {arrivals} requests, {len(faulted)} faulted, "
+        f"{rejections} breaker rejections, mode={mode}"
+    )
+    print(
+        f"  worker deaths {totals['worker_deaths']:.0f}   "
+        f"reload failures {totals['reload_failures']:.0f}   "
+        f"breaker opens {totals['breaker_opens']:.0f} / closes {breaker_closes}   "
+        f"p99 {p99_ms:.2f} ms (bound {p99_bound_ms:.2f} ms)"
+    )
+    print(format_gateway_summary(summary))
+
+    payload = {
+        "experiment": "serve_faults",
+        "mode": mode,
+        "scale": scale.name,
+        "arrivals": arrivals,
+        "capacity_fps": capacity_fps,
+        "served": len(served),
+        "faulted": sorted(faulted),
+        "injected": injected,
+        "breaker_rejections": rejections,
+        "breaker_opens": totals["breaker_opens"],
+        "breaker_closes": breaker_closes,
+        "worker_deaths": totals["worker_deaths"],
+        "reload_failures": totals["reload_failures"],
+        "degraded_on_torn_republish": degraded,
+        "recovered_on_good_republish": recovered,
+        "p99_ms": p99_ms,
+        "p99_bound_ms": p99_bound_ms,
+    }
+    results_store.add("serve_faults", f"scale={scale.name}_{mode}", payload)
+    _update_bench_json("faults", payload)
+
+    # Availability: exactly the injected kernel faults fail, nothing else.
+    assert sorted(faulted) == sorted(STORM_KERNEL_FAULTS)
+    assert len(served) == arrivals - len(faulted)
+    # Correctness: everything served is bit-identical to the offline plan,
+    # across the worker death, the breaker cycle and both republishes.
+    for i, counts in served.items():
+        np.testing.assert_array_equal(counts, reference[i])
+    # The breaker cycled: open on the fault run, fail-fast while open,
+    # re-closed on a successful half-open probe.
+    assert totals["breaker_opens"] >= 1
+    assert breaker_closes >= 1
+    assert rejections >= 1
+    assert totals["breaker_rejections"] == rejections
+    # Supervision and degrade-on-corrupt both fired and recovered.
+    assert totals["worker_deaths"] == 1
+    assert totals["reload_failures"] == 1
+    assert degraded and recovered
+    assert totals["failed"] == len(faulted)
+    if not bench_smoke:
+        assert p99_ms <= p99_bound_ms, (
+            f"storm p99 {p99_ms:.2f} ms blew the bound {p99_bound_ms:.2f} ms"
+        )
+
+
 def _bursty_schedule(capacity_fps: float, phase_counts, rng):
     """Arrival schedule for the diurnal replay: ``[(delay_s, priority), ...]``.
 
@@ -416,10 +602,11 @@ def _bursty_schedule(capacity_fps: float, phase_counts, rng):
 def _replay(gateway, name, images, schedule):
     """Play one arrival schedule against a gateway; returns outcome counts.
 
-    High-priority arrivals carry a ``HIGH_PRIORITY_DEADLINE_MS`` budget so
-    the deadline-aware batch cutoff is exercised too.  Requests shed at
-    submit (or evicted from the queue) are counted per lane; admitted
-    futures are then drained to completion.
+    High-priority arrivals carry a ``HIGH_PRIORITY_DEADLINE_MS`` budget,
+    which is a *real* timeout: a request still queued past its deadline
+    resolves to :class:`RequestTimedOut` instead of being dispatched late.
+    Requests shed at submit (or evicted from the queue) are counted per
+    lane; admitted futures are then drained to completion.
     """
     futures = []
     submit_shed = {0: 0, 1: 0}
@@ -442,13 +629,21 @@ def _replay(gateway, name, images, schedule):
             submit_shed[priority] += 1
     served = 0
     evicted = 0
+    timed_out = 0
     for future in futures:
         try:
             future.result(timeout=300)
             served += 1
         except ServerOverloaded:
             evicted += 1  # admitted then evicted by a higher-priority arrival
-    return {"served": served, "evicted": evicted, "submit_shed": submit_shed}
+        except RequestTimedOut:
+            timed_out += 1  # queued past its deadline budget
+    return {
+        "served": served,
+        "evicted": evicted,
+        "timed_out": timed_out,
+        "submit_shed": submit_shed,
+    }
 
 
 def test_serve_autoscale(benchmark, bench_smoke, repro_scale, results_store, tmp_path):
@@ -557,6 +752,7 @@ def test_serve_autoscale(benchmark, bench_smoke, repro_scale, results_store, tmp
         return {
             "admitted": per_model["admitted"],
             "served": outcome["served"],
+            "timed_out": outcome["timed_out"],
             "shed": per_model["shed"],
             "shed_high": per_model["shed_high"],
             "shed_low": per_model["shed_low"],
@@ -615,9 +811,14 @@ def test_serve_autoscale(benchmark, bench_smoke, repro_scale, results_store, tmp
     _update_bench_json("autoscale", payload)
 
     # Nothing admitted may be silently lost: every future resolves to a
-    # result or a counted eviction, in both runs.
+    # result, a counted eviction or a counted deadline timeout, in both runs.
     for outcome, metrics in ((fixed_outcome, fixed_metrics), (scaled_outcome, scaled_metrics)):
-        assert outcome["served"] + outcome["evicted"] + sum(outcome["submit_shed"].values()) == arrivals
+        assert (
+            outcome["served"]
+            + outcome["evicted"]
+            + outcome["timed_out"]
+            + sum(outcome["submit_shed"].values())
+        ) == arrivals
         assert metrics["shed"] == outcome["evicted"] + sum(outcome["submit_shed"].values())
     # The bursts must actually drive the ladder: scale-ups are required in
     # both modes (the replay overloads the minimum configuration 2.2x).

@@ -85,14 +85,21 @@ class CacheEntry:
 
 
 def _summarise_sidecar(sidecar: Path) -> str:
-    """One-line config summary from a key-payload sidecar (best effort)."""
+    """One-line config summary from a key-payload sidecar (best effort).
+
+    A *missing* sidecar yields an empty summary; one that exists but cannot
+    be parsed is reported as corrupt rather than silently blank, so
+    ``repro.exec inspect`` surfaces on-disk damage instead of hiding it.
+    """
     try:
         payload = json.loads(sidecar.read_text())
-    except (OSError, ValueError):
-        return ""
+    except OSError:
+        return "<unreadable sidecar>" if sidecar.exists() else ""
+    except ValueError:
+        return "<corrupt sidecar (not valid JSON)>"
     config = payload.get("config", {})
     if not isinstance(config, dict):
-        return ""
+        return "<corrupt sidecar (unexpected structure)>"
     parts = []
     for field_name in ("surrogate", "surrogate_scale", "beta", "threshold", "encoder"):
         if field_name in config:

@@ -19,6 +19,19 @@ serial path runs the exact same wrapper, which is what makes parallel
 results bit-for-bit identical to serial ones (asserted by
 ``tests/test_exec_executor.py`` and the sweep benchmark).
 
+Failure policy
+--------------
+At the hundreds-of-cells scale of the companion characterization paper, one
+poisoned cell must not abort a whole grid.  ``retries=N`` re-runs a failing
+cell up to ``N`` more times with jittered exponential backoff between
+attempts — the RNG is reseeded identically before every attempt, so a
+retried success is bit-identical to a first-attempt success (and to the
+cached record).  ``on_error="collect"`` turns a cell that exhausts its
+retries into a :class:`FailedCell` entry in the returned list (carrying the
+worker's full traceback) while every other cell completes;
+``on_error="raise"`` (the default, historical behaviour) aborts the sweep
+with :class:`CellExecutionError` on first failure.
+
 Progress
 --------
 Each cell emits structured :class:`ProgressEvent` values (``start`` /
@@ -153,6 +166,46 @@ def _config_seed(config: ExperimentConfig) -> int:
     return int(key[:8], 16)
 
 
+#: ``on_error`` policy: abort the sweep on the first failing cell (default).
+ON_ERROR_RAISE = "raise"
+#: ``on_error`` policy: report failing cells as :class:`FailedCell` records.
+ON_ERROR_COLLECT = "collect"
+
+_ON_ERROR_POLICIES = (ON_ERROR_RAISE, ON_ERROR_COLLECT)
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A sweep cell that failed every attempt, under ``on_error="collect"``.
+
+    Occupies the cell's slot in the returned results list, so positional
+    correspondence with the submitted configs is preserved.  Filter with
+    ``isinstance(r, FailedCell)`` (or its truthiness: a ``FailedCell`` is
+    falsy, so ``[r for r in results if r]`` keeps only real records).
+
+    Attributes
+    ----------
+    index:
+        Position of the cell in the submitted config list.
+    label:
+        The config's human-readable label (``config.describe()``).
+    error:
+        Full formatted traceback from the final failed attempt, captured
+        where the cell actually ran.
+    attempts:
+        Total attempts made (1 + retries actually used).
+    """
+
+    index: int
+    label: str
+    error: str
+    attempts: int
+
+    def __bool__(self) -> bool:
+        """``False``, so failed cells filter out like missing records."""
+        return False
+
+
 class CellExecutionError(RuntimeError):
     """Raised in the parent when a sweep cell fails (in-process or in a worker).
 
@@ -176,27 +229,41 @@ class _CellFailure:
     opaque ``MaybeEncodingError`` with no hint of which cell blew up.
     """
 
-    __slots__ = ("traceback",)
+    __slots__ = ("traceback", "attempts")
 
-    def __init__(self, formatted_traceback: str) -> None:
+    def __init__(self, formatted_traceback: str, attempts: int = 1) -> None:
         self.traceback = formatted_traceback
+        self.attempts = attempts
 
 
-def _run_cell(payload: Tuple[int, ExperimentConfig, Any, bool, bool]):
+def _run_cell(payload: Tuple[int, ExperimentConfig, Any, bool, bool, int, float]):
     """Train one cell; shared by the serial path and every pool worker.
 
     Returns ``(index, record_or_failure, seconds)`` — failures are wrapped
     rather than raised so the parent can attribute the error to the right
-    cell even with ``imap_unordered``.
+    cell even with ``imap_unordered``.  Each of the ``1 + retries``
+    attempts reseeds the global RNG from the *same* config-derived seed, so
+    a retried success computes exactly the record a first-attempt success
+    would have; the backoff between attempts is exponential with a jitter
+    drawn deterministically from ``(config seed, attempt)``.
     """
-    index, config, accelerator, use_runtime, verbose = payload
-    np.random.seed(_config_seed(config))
+    index, config, accelerator, use_runtime, verbose, retries, backoff_s = payload
+    seed = _config_seed(config)
     start = time.perf_counter()
-    try:
-        record = run_experiment(config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime)
-    except Exception:
-        return index, _CellFailure(traceback.format_exc()), time.perf_counter() - start
-    return index, record, time.perf_counter() - start
+    for attempt in range(1 + retries):
+        if attempt:
+            jitter = float(np.random.default_rng([seed, attempt]).uniform(0.5, 1.5))
+            time.sleep(backoff_s * (2.0 ** (attempt - 1)) * jitter)
+        np.random.seed(seed)
+        try:
+            record = run_experiment(
+                config, accelerator=accelerator, verbose=verbose, use_runtime=use_runtime
+            )
+        except Exception:
+            if attempt == retries:
+                return index, _CellFailure(traceback.format_exc(), attempts=attempt + 1), time.perf_counter() - start
+        else:
+            return index, record, time.perf_counter() - start
 
 
 def run_experiments(
@@ -209,7 +276,10 @@ def run_experiments(
     use_runtime: bool = True,
     verbose: bool = False,
     progress: Optional[ProgressCallback] = None,
-) -> List[ExperimentRecord]:
+    on_error: str = ON_ERROR_RAISE,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
+) -> List[Union[ExperimentRecord, FailedCell]]:
     """Run every configuration and return records in submission order.
 
     Parameters
@@ -237,7 +307,25 @@ def run_experiments(
     progress:
         Structured :class:`ProgressEvent` callback (overrides the default
         printer; receives events regardless of ``verbose``).
+    on_error:
+        ``"raise"`` (default) aborts the sweep with
+        :class:`CellExecutionError` when a cell exhausts its retries;
+        ``"collect"`` puts a :class:`FailedCell` in that cell's result slot
+        and lets the rest of the grid complete.
+    retries:
+        Extra attempts per failing cell (0 = fail on first error).  Every
+        attempt is identically reseeded, so flaky-environment retries
+        cannot change a record's bits.
+    retry_backoff_s:
+        Base delay before the first retry; subsequent retries back off
+        exponentially with deterministic per-cell jitter.
     """
+    if on_error not in _ON_ERROR_POLICIES:
+        raise ValueError(f"on_error must be one of {_ON_ERROR_POLICIES}, got {on_error!r}")
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if retry_backoff_s < 0:
+        raise ValueError(f"retry_backoff_s must be non-negative, got {retry_backoff_s}")
     configs = list(configs)
     total = len(configs)
     store = resolve_cache(cache)
@@ -256,7 +344,7 @@ def run_experiments(
                 )
             )
 
-    results: List[Optional[ExperimentRecord]] = [None] * total
+    results: List[Union[None, ExperimentRecord, FailedCell]] = [None] * total
     keys: List[Optional[str]] = [None] * total
     pending: List[int] = []
     for i, config in enumerate(configs):
@@ -281,17 +369,28 @@ def run_experiments(
         emit("done", index, seconds=seconds)
 
     def settle(index: int, outcome, seconds: float) -> None:
-        """Record a completed cell or raise its failure with correct attribution."""
+        """Record a completed cell, or apply the failure policy with attribution."""
         if isinstance(outcome, _CellFailure):
             # The event and the raised error both carry the worker's full
             # stack as text — the original exception object never crosses
             # the process boundary (see _CellFailure).
             emit("error", index, seconds=seconds, error=outcome.traceback)
-            raise CellExecutionError(configs[index].describe(), outcome.traceback)
+            if on_error == ON_ERROR_RAISE:
+                raise CellExecutionError(configs[index].describe(), outcome.traceback)
+            results[index] = FailedCell(
+                index=index,
+                label=configs[index].describe(),
+                error=outcome.traceback,
+                attempts=outcome.attempts,
+            )
+            return
         finish(index, outcome, seconds)
 
     if pending:
-        payloads = [(i, configs[i], accelerator, use_runtime, verbose) for i in pending]
+        payloads = [
+            (i, configs[i], accelerator, use_runtime, verbose, int(retries), float(retry_backoff_s))
+            for i in pending
+        ]
         nworkers = min(resolve_workers(workers), len(pending))
         if nworkers > 1:
             method = resolve_start_method(start_method)
@@ -313,6 +412,6 @@ def run_experiments(
             finally:
                 np.random.set_state(rng_state)
 
-    # Every cell either came from the cache or completed above (failures
-    # raise), so the list is fully populated at this point.
+    # Every cell either came from the cache, completed above, or (under
+    # "collect") holds its FailedCell, so the list is fully populated.
     return results  # type: ignore[return-value]

@@ -35,6 +35,14 @@ This package is that deployment surface:
   activity, plus admission-control counters (admitted/shed, queue-depth
   high-water mark), and renders measured-vs-modeled comparisons via
   :func:`repro.hardware.report.format_measured_vs_modeled`.
+* Fault tolerance spans the stack: worker threads are supervised (death →
+  respawn, batch requeued), batch failures are isolated to their own
+  futures, ``deadline_ms`` is a real timeout
+  (:class:`~repro.serve.scheduler.RequestTimedOut`), per-model circuit
+  breakers (:mod:`repro.serve.breaker`) fail fast while a model keeps
+  failing, a corrupt republish degrades to the old weights, and
+  :mod:`repro.serve.faults` provides the deterministic chaos harness that
+  proves all of it (``tests/test_faults.py``).
 
 ``benchmarks/bench_serve.py`` load-tests the stack in closed- and open-loop
 arrival modes (including gateway overload beyond capacity);
@@ -43,6 +51,15 @@ arrival modes (including gateway overload beyond capacity);
 """
 
 from repro.serve.autoscaler import AutoscalePolicy, ModelAutoscaler
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker, ModelUnavailable
+from repro.serve.faults import (
+    BatchFate,
+    FaultInjector,
+    InjectedFault,
+    InjectedKernelFault,
+    InjectedWorkerDeath,
+    tear_checkpoint,
+)
 from repro.serve.gateway import ServeGateway, format_gateway_summary
 from repro.serve.registry import (
     ModelRegistry,
@@ -54,6 +71,7 @@ from repro.serve.scheduler import (
     OVERLOAD_BLOCK,
     OVERLOAD_SHED,
     InferenceServer,
+    RequestTimedOut,
     ServeResult,
     ServerClosed,
     ServerOverloaded,
@@ -63,6 +81,15 @@ from repro.serve.telemetry import RequestStat, ServeTelemetry, format_telemetry
 __all__ = [
     "AutoscalePolicy",
     "ModelAutoscaler",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ModelUnavailable",
+    "BatchFate",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedKernelFault",
+    "InjectedWorkerDeath",
+    "tear_checkpoint",
     "ModelRegistry",
     "RegisteredModel",
     "RegistryError",
@@ -72,6 +99,7 @@ __all__ = [
     "ServeResult",
     "ServerClosed",
     "ServerOverloaded",
+    "RequestTimedOut",
     "OVERLOAD_SHED",
     "OVERLOAD_BLOCK",
     "RequestStat",

@@ -1,0 +1,199 @@
+"""Per-model circuit breaker: fail fast while a model keeps failing.
+
+A model whose batches keep raising (poisoned weights, a kernel bug, a bad
+hot-reload) should not make every caller pay queueing + encoding just to
+receive the same exception — and should not need operator intervention to
+resume once the cause clears.  :class:`CircuitBreaker` implements the
+classic three-state machine around each per-model
+:class:`~repro.serve.scheduler.InferenceServer`:
+
+- **closed** (healthy): requests flow; each failed batch increments a
+  consecutive-failure count, each success resets it.
+- **open** (tripped, after :attr:`BreakerPolicy.failure_threshold`
+  consecutive batch failures): submits fail fast with
+  :class:`ModelUnavailable` *before* paying the encode, for a backoff
+  interval that grows exponentially (with deterministic jitter) on every
+  re-trip.
+- **half-open** (probing, once the backoff elapses): exactly one request
+  is admitted; its batch succeeding re-closes the breaker, failing re-opens
+  it at the next backoff rung.
+
+State transitions and fail-fast rejections are recorded in the attached
+:class:`~repro.serve.telemetry.ServeTelemetry`, so a telemetry snapshot
+shows not just *that* requests failed but what the breaker did about it.
+Jitter is drawn from a seeded generator, keeping chaos-test schedules
+reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["ModelUnavailable", "BreakerPolicy", "CircuitBreaker"]
+
+
+class ModelUnavailable(RuntimeError):
+    """Raised fail-fast when a model's circuit breaker is open.
+
+    Also raised by the gateway when a model's server cannot accept the
+    request after bounded retries (e.g. repeated hot-reload races) — in
+    both cases the request was rejected *cheaply*, before encoding, and a
+    later retry may succeed.
+    """
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs for :class:`CircuitBreaker` (immutable, shareable).
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive failed batches that trip the breaker open.
+    backoff_initial_s:
+        Open interval after the first trip, in seconds.
+    backoff_max_s:
+        Upper bound the exponential backoff saturates at.
+    backoff_factor:
+        Multiplier applied to the backoff after each failed probe.
+    jitter:
+        Relative jitter applied to every open interval: the interval is
+        scaled by a draw from ``uniform(1 - jitter, 1 + jitter)``.
+    seed:
+        Seed for the jitter stream (deterministic backoff schedules).
+    """
+
+    failure_threshold: int = 5
+    backoff_initial_s: float = 0.1
+    backoff_max_s: float = 5.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the policy's numeric ranges."""
+        if self.failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {self.failure_threshold}")
+        if self.backoff_initial_s <= 0:
+            raise ValueError(f"backoff_initial_s must be positive, got {self.backoff_initial_s}")
+        if self.backoff_max_s < self.backoff_initial_s:
+            raise ValueError("backoff_max_s must be >= backoff_initial_s")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open state machine for one model.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`BreakerPolicy` thresholds and backoff schedule.
+    telemetry:
+        Optional :class:`ServeTelemetry` that receives state transitions
+        and fail-fast rejection counts (usually the served model's own).
+    clock:
+        Monotonic time source, injectable for tests (defaults to
+        :func:`time.monotonic`).
+
+    The scheduler calls :meth:`allow` per submit and
+    :meth:`record_success` / :meth:`record_failure` per completed batch;
+    nothing else is required — recovery is driven entirely by the clock
+    and the next submission.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        telemetry: Optional[ServeTelemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.telemetry = telemetry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._backoff_s = self.policy.backoff_initial_s
+        self._retry_at = 0.0
+        self._probe_inflight = False
+        self._rng = np.random.default_rng(self.policy.seed)
+
+    @property
+    def state(self) -> str:
+        """Current state: ``"closed"``, ``"open"`` or ``"half_open"``."""
+        with self._lock:
+            return self._state
+
+    def _transition_locked(self, state: str) -> None:
+        """Move to ``state`` and mirror it into telemetry (lock held)."""
+        self._state = state
+        if self.telemetry is not None:
+            self.telemetry.record_breaker_transition(state)
+
+    def allow(self) -> bool:
+        """Whether a new request may proceed right now.
+
+        Closed: always.  Open: only once the backoff has elapsed, which
+        flips the breaker half-open and admits exactly one probe request;
+        everything else is rejected (counted in telemetry) until the probe
+        resolves.  Callers translate ``False`` into
+        :class:`ModelUnavailable`.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open" and self._clock() >= self._retry_at:
+                self._transition_locked("half_open")
+                self._probe_inflight = False
+            if self._state == "half_open" and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            if self.telemetry is not None:
+                self.telemetry.record_breaker_rejection()
+            return False
+
+    def record_success(self) -> None:
+        """Note a successful batch: resets failures, re-closes a half-open breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != "closed":
+                self._transition_locked("closed")
+            self._backoff_s = self.policy.backoff_initial_s
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """Note a failed batch: trips the breaker at the threshold, re-opens a probe.
+
+        Each (re-)open draws a jittered interval from the current backoff
+        rung; a failed half-open probe advances the rung by
+        ``backoff_factor`` (capped at ``backoff_max_s``).
+        """
+        with self._lock:
+            if self._state == "half_open":
+                self._backoff_s = min(
+                    self._backoff_s * self.policy.backoff_factor, self.policy.backoff_max_s
+                )
+                self._open_locked()
+                return
+            self._consecutive_failures += 1
+            if self._state == "closed" and self._consecutive_failures >= self.policy.failure_threshold:
+                self._open_locked()
+
+    def _open_locked(self) -> None:
+        """Trip open and schedule the next half-open probe (lock held)."""
+        jitter = self.policy.jitter
+        scale = float(self._rng.uniform(1.0 - jitter, 1.0 + jitter)) if jitter else 1.0
+        self._retry_at = self._clock() + self._backoff_s * scale
+        self._probe_inflight = False
+        self._consecutive_failures = 0
+        self._transition_locked("open")

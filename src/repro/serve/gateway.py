@@ -19,6 +19,15 @@ front-end over a :class:`~repro.serve.registry.ModelRegistry`:
   from the new checkpoint.  A republish that changes the *architecture*
   (or any non-weight hyperparameter, e.g. ``beta``) cannot be patched in
   place; the gateway then drains the old server and stands up a fresh one.
+  A republished checkpoint that is torn or fails its content checksum
+  does **not** interrupt serving: the old weights stay live, the failure
+  is counted (``reload_failures``) with its cause in the model's
+  telemetry, and the next good republish is picked up normally.
+* **Circuit breaking** — with a :class:`~repro.serve.breaker.BreakerPolicy`,
+  each per-model server carries its own breaker: consecutive batch
+  failures trip it open and submits fail fast with
+  :class:`~repro.serve.breaker.ModelUnavailable` until a half-open probe
+  succeeds, leaving the other models serving undisturbed.
 * **Admission control** — ``max_queue`` / ``overload`` are forwarded to
   every per-model server: ``"shed"`` fails surplus submits fast with
   :class:`~repro.serve.scheduler.ServerOverloaded`, ``"block"`` applies
@@ -52,6 +61,8 @@ import numpy as np
 
 from repro.runtime.pool import CompiledNetworkPool
 from repro.serve.autoscaler import AutoscalePolicy, ModelAutoscaler
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker, ModelUnavailable
+from repro.serve.faults import FaultInjector
 from repro.serve.registry import ModelRegistry, RegisteredModel, RegistryError
 from repro.serve.scheduler import (
     OVERLOAD_SHED,
@@ -60,7 +71,12 @@ from repro.serve.scheduler import (
     ServerClosed,
 )
 from repro.serve.telemetry import ServeTelemetry
-from repro.training.checkpoint import load_checkpoint, model_spec
+from repro.training.checkpoint import CheckpointError, load_checkpoint, model_spec
+
+#: How many times :meth:`ServeGateway.submit` re-resolves a model whose
+#: server was concurrently retired by a hot-reload before giving up with
+#: :class:`~repro.serve.breaker.ModelUnavailable`.
+SUBMIT_RELOAD_RETRIES = 3
 
 
 @dataclass
@@ -74,6 +90,7 @@ class _ActiveModel:
     lock: threading.Lock = field(default_factory=threading.Lock)
     last_check: float = 0.0
     reloads: int = 0
+    reload_failures: int = 0
     autoscaler: Optional[ModelAutoscaler] = None
 
 
@@ -105,6 +122,17 @@ class ServeGateway:
         default) checks on every submit — the check is one ``stat`` call,
         cheap next to encoding a request.  Raise it to amortise even that
         on very hot paths.
+    breaker:
+        Optional :class:`~repro.serve.breaker.BreakerPolicy`.  When set,
+        every per-model server gets its own
+        :class:`~repro.serve.breaker.CircuitBreaker` wired into its
+        telemetry: repeated batch failures trip the model open and submits
+        fail fast with :class:`~repro.serve.breaker.ModelUnavailable`
+        until a half-open probe succeeds.  Other models are unaffected.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultInjector` shared by
+        every per-model server — test-only chaos hook, never set in
+        production.
 
     A model's server, compiled-plan pool and telemetry are created on the
     first request that names it and reused afterwards; :meth:`stop` shuts
@@ -123,6 +151,8 @@ class ServeGateway:
         autoscale: Optional[AutoscalePolicy] = None,
         autoscale_interval_s: float = 0.02,
         reload_check_s: float = 0.0,
+        breaker: Optional[BreakerPolicy] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if reload_check_s < 0:
             raise ValueError(f"reload_check_s must be non-negative, got {reload_check_s}")
@@ -139,6 +169,8 @@ class ServeGateway:
         self.autoscale = autoscale
         self.autoscale_interval_s = float(autoscale_interval_s)
         self.reload_check_s = float(reload_check_s)
+        self.breaker = breaker
+        self.faults = faults
         self._active: Dict[str, _ActiveModel] = {}
         self._creating: Dict[str, threading.Lock] = {}
         self._lock = threading.Lock()
@@ -193,19 +225,28 @@ class ServeGateway:
         :meth:`InferenceServer.submit`).  Raises
         :class:`~repro.serve.registry.RegistryError` for unknown names,
         :class:`~repro.serve.scheduler.ServerOverloaded` when shed-mode
-        admission control rejects the request, and :class:`ServerClosed`
-        after :meth:`stop`.
+        admission control rejects the request,
+        :class:`~repro.serve.breaker.ModelUnavailable` when the model's
+        circuit breaker is open (or repeated reload races exhaust the
+        retry budget), and :class:`ServerClosed` after :meth:`stop`.
         """
-        # One retry covers the benign race where a reload (architecture
+        # Retries cover the benign race where a reload (architecture
         # change) retires the server between resolution and submission.
-        for attempt in (0, 1):
+        # The budget is bounded: a pathological republish loop surfaces as
+        # a typed ModelUnavailable instead of retrying (or asserting) forever.
+        last_exc: Optional[ServerClosed] = None
+        for _ in range(SUBMIT_RELOAD_RETRIES):
             active = self._resolve(name)
             try:
                 return active.server.submit(image, priority=priority, deadline_ms=deadline_ms)
-            except ServerClosed:
-                if self._closed or attempt:
+            except ServerClosed as exc:
+                if self._closed:
                     raise
-        raise AssertionError("unreachable")  # pragma: no cover
+                last_exc = exc
+        raise ModelUnavailable(
+            f"model {name!r}: server kept retiring mid-submit "
+            f"({SUBMIT_RELOAD_RETRIES} hot-reload races in a row)"
+        ) from last_exc
 
     def submit_many(
         self,
@@ -252,6 +293,16 @@ class ServeGateway:
         """The named model's recorded autoscale events (oldest first)."""
         return self.telemetry(name).scale_events()
 
+    def last_errors(self) -> Dict[str, str]:
+        """Most recent failure description per active model (clean models omitted)."""
+        with self._lock:
+            active = dict(self._active)
+        return {
+            name: model.server.telemetry.last_error
+            for name, model in sorted(active.items())
+            if model.server.telemetry.last_error
+        }
+
     def summary(self) -> Dict[str, Any]:
         """Aggregated gateway snapshot with per-model breakdowns.
 
@@ -270,7 +321,13 @@ class ServeGateway:
             "admitted": 0.0,
             "shed": 0.0,
             "shed_high": 0.0,
+            "failed": 0.0,
+            "timed_out": 0.0,
+            "worker_deaths": 0.0,
             "reloads": 0.0,
+            "reload_failures": 0.0,
+            "breaker_opens": 0.0,
+            "breaker_rejections": 0.0,
             "scale_ups": 0.0,
             "scale_downs": 0.0,
             "queue_high_water": 0.0,
@@ -279,12 +336,19 @@ class ServeGateway:
             per_model = model.server.telemetry.summary()
             per_model["version"] = float(model.entry.version)
             per_model["reloads"] = float(model.reloads)
+            per_model["reload_failures"] = float(model.reload_failures)
             models[name] = per_model
             totals["requests"] += per_model["requests"]
             totals["admitted"] += per_model["admitted"]
             totals["shed"] += per_model["shed"]
             totals["shed_high"] += per_model.get("shed_high", 0.0)
+            totals["failed"] += per_model.get("failed", 0.0)
+            totals["timed_out"] += per_model.get("timed_out", 0.0)
+            totals["worker_deaths"] += per_model.get("worker_deaths", 0.0)
             totals["reloads"] += float(model.reloads)
+            totals["reload_failures"] += float(model.reload_failures)
+            totals["breaker_opens"] += per_model.get("breaker_opens", 0.0)
+            totals["breaker_rejections"] += per_model.get("breaker_rejections", 0.0)
             totals["scale_ups"] += per_model.get("scale_ups", 0.0)
             totals["scale_downs"] += per_model.get("scale_downs", 0.0)
             totals["queue_high_water"] = max(totals["queue_high_water"], per_model["queue_high_water"])
@@ -301,6 +365,14 @@ class ServeGateway:
         workers = self.autoscale.min_workers if self.autoscale else self.workers
         max_batch = self.autoscale.min_batch if self.autoscale else self.max_batch
         pool = CompiledNetworkPool(entry.model, max_idle=workers)
+        telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        # Each server gets a FRESH breaker sharing the model's telemetry:
+        # failure history must not leak across an architecture-replacing
+        # reload (the new network deserves a closed breaker), while the
+        # transition counters stay continuous in the inherited telemetry.
+        breaker = (
+            CircuitBreaker(self.breaker, telemetry=telemetry) if self.breaker is not None else None
+        )
         server = InferenceServer(
             pool,
             entry.encoder,
@@ -310,6 +382,8 @@ class ServeGateway:
             max_queue=self.max_queue,
             overload=self.overload,
             telemetry=telemetry,
+            breaker=breaker,
+            faults=self.faults,
         )
         return server.start()
 
@@ -339,7 +413,7 @@ class ServeGateway:
         with self._lock:
             return self._creating.setdefault(name, threading.Lock())
 
-    def _resolve(self, name: str) -> _ActiveModel:
+    def _resolve(self, name: str, reload: bool = True) -> _ActiveModel:
         with self._lock:
             if self._closed:
                 raise ServerClosed("gateway has been stopped")
@@ -377,12 +451,16 @@ class ServeGateway:
                         if active.autoscaler is not None:
                             self._ensure_autoscale_thread_locked()
                     return active
-        self._maybe_reload(active)
+        if reload:
+            self._maybe_reload(active)
         return active
 
     def refresh(self, name: str) -> bool:
         """Force a republish check for ``name`` now; returns whether it reloaded."""
-        active = self._resolve(name)
+        # Resolve WITHOUT the routine reload check: if it fired first, the
+        # reload would land before ``reloads_before`` is read and a genuine
+        # pickup would be misreported as False.
+        active = self._resolve(name, reload=False)
         reloads_before = active.reloads
         self._maybe_reload(active, force=True)
         return active.reloads > reloads_before
@@ -405,9 +483,23 @@ class ServeGateway:
             signature = self.registry.checkpoint_signature(active.name)
             if signature is None or signature == active.signature:
                 return
-            new_model, new_encoder, checkpoint_meta = load_checkpoint(
-                self.registry.checkpoint_path(active.name)
-            )
+            try:
+                new_model, new_encoder, checkpoint_meta = load_checkpoint(
+                    self.registry.checkpoint_path(active.name)
+                )
+            except CheckpointError as exc:
+                # A torn/corrupt republish must not take the model down:
+                # keep serving the previous weights, record the failure as
+                # an event, and adopt the bad file's signature so the (one)
+                # stat-change is not re-read on every submit — the next
+                # good republish changes the signature again and is picked
+                # up normally.
+                active.signature = signature
+                active.reload_failures += 1
+                active.server.telemetry.record_reload_failure(
+                    f"{type(exc).__name__}: {exc}"
+                )
+                return
             meta = checkpoint_meta.get("registry") if isinstance(checkpoint_meta, dict) else None
             # A checkpoint republished without an encoder keeps serving
             # through the current one (requests must still be encodable).
@@ -470,16 +562,28 @@ class ServeGateway:
             active.server.stop(drain=True)
 
 
-def format_gateway_summary(summary: Dict[str, Any], title: str = "Gateway telemetry") -> str:
-    """Render :meth:`ServeGateway.summary` as an aligned per-model table."""
+def format_gateway_summary(
+    summary: Dict[str, Any],
+    title: str = "Gateway telemetry",
+    last_errors: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render :meth:`ServeGateway.summary` as an aligned per-model table.
+
+    ``last_errors`` (typically :meth:`ServeGateway.last_errors`) appends
+    one most-recent-failure line per affected model under the table.
+    """
     totals = summary.get("totals", {})
     lines = [title, "-" * len(title)]
-    header = f"  {'model':<20} {'ver':>4} {'req':>7} {'shed':>6} {'hiwater':>8} {'p99 ms':>9} {'fps':>8}"
+    header = (
+        f"  {'model':<20} {'ver':>4} {'req':>7} {'shed':>6} {'fail':>6} {'t/o':>5} "
+        f"{'hiwater':>8} {'p99 ms':>9} {'fps':>8}"
+    )
     lines.append(header)
     for name, per_model in sorted(summary.get("models", {}).items()):
         lines.append(
             f"  {name:<20} {per_model.get('version', 0):>4.0f} "
             f"{per_model.get('requests', 0):>7.0f} {per_model.get('shed', 0):>6.0f} "
+            f"{per_model.get('failed', 0):>6.0f} {per_model.get('timed_out', 0):>5.0f} "
             f"{per_model.get('queue_high_water', 0):>8.0f} "
             f"{per_model.get('p99_ms', float('nan')):>9.2f} "
             f"{per_model.get('achieved_fps', 0):>8.1f}"
@@ -487,7 +591,11 @@ def format_gateway_summary(summary: Dict[str, Any], title: str = "Gateway teleme
     lines.append(
         f"  totals: {totals.get('models', 0):.0f} models, "
         f"{totals.get('requests', 0):.0f} served, {totals.get('shed', 0):.0f} shed, "
-        f"{totals.get('reloads', 0):.0f} reloads, "
+        f"{totals.get('failed', 0):.0f} failed, {totals.get('timed_out', 0):.0f} timed out, "
+        f"{totals.get('worker_deaths', 0):.0f} worker deaths, "
+        f"{totals.get('reloads', 0):.0f} reloads ({totals.get('reload_failures', 0):.0f} failed), "
         f"{totals.get('scale_ups', 0):.0f}/{totals.get('scale_downs', 0):.0f} scale up/down"
     )
+    for name, error in sorted((last_errors or {}).items()):
+        lines.append(f"  last error [{name}]: {error}")
     return "\n".join(lines)

@@ -37,7 +37,12 @@ from repro.exec.cache import jsonable
 from repro.utils import atomic_write
 from repro.nn.module import Module
 from repro.runtime.pool import CompiledNetworkPool
-from repro.training.checkpoint import load_checkpoint, read_checkpoint_metadata, save_checkpoint
+from repro.training.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint_metadata,
+    save_checkpoint,
+)
 
 PathLike = Union[str, Path]
 
@@ -135,7 +140,13 @@ class ModelRegistry:
         path = self.checkpoint_path(name)
         if not path.exists():
             return 0
-        meta = read_checkpoint_metadata(path).get("registry")
+        try:
+            meta = read_checkpoint_metadata(path).get("registry")
+        except CheckpointError:
+            # A torn/corrupt entry must not brick republishing over it:
+            # the counter restarts, but change detection never relied on
+            # it (checkpoint_signature is the reload trigger).
+            return 0
         if not isinstance(meta, dict):
             return 0
         return int(meta.get("version", 1))

@@ -56,17 +56,37 @@ important) and an optional ``deadline_ms`` latency budget:
   arrival shed.  Dispatch order stays strictly FIFO — priority decides who
   is sacrificed under overload, never who barges ahead, so the
   deterministic-batching bit-identity contract is unchanged.
-* A ``deadline_ms`` steers batching, not dropping: the dispatcher cuts a
-  batch early when any waiting request is within ``deadline_margin_ms`` of
-  its deadline, instead of waiting out ``max_wait_ms`` for more company
-  (FIFO dispatch means the urgent request is always in the cut batch).
-  A request whose deadline has already passed is still served.
+* A ``deadline_ms`` steers batching *and* is a real timeout: the
+  dispatcher cuts a batch early when any waiting request is within
+  ``deadline_margin_ms`` of its deadline, instead of waiting out
+  ``max_wait_ms`` for more company (FIFO dispatch means the urgent request
+  is always in the cut batch).  A request whose deadline has *already
+  passed* is never dispatched late — its future fails with
+  :class:`RequestTimedOut` at the cutoff (batch cut or batch start,
+  whichever notices first), counted per lane in telemetry.
 
 Capacity is live-adjustable: :meth:`InferenceServer.resize` retargets the
 worker count and ``max_batch`` between batches — queued work is never
 dropped, in-flight batches finish untouched — which is the actuator the
 closed-loop autoscaler (:mod:`repro.serve.autoscaler`) drives against
 telemetry.
+
+Failure isolation and supervision
+---------------------------------
+A batch whose inference raises resolves *only that batch's* futures with
+the error (counted via
+:meth:`~repro.serve.telemetry.ServeTelemetry.record_failure`, reported to
+the attached circuit breaker); the server keeps serving subsequent
+batches.  Worker threads are *supervised*: a worker that dies from an
+escaped exception is detected, its in-hand batch is requeued at the front
+(same composition, so the retried results are bit-identical), and a
+replacement thread is spawned — capacity never silently shrinks
+(:attr:`InferenceServer.live_workers` is the observable).  An attached
+:class:`~repro.serve.breaker.CircuitBreaker` fails submits fast with
+:class:`~repro.serve.breaker.ModelUnavailable` while the model keeps
+failing; an attached :class:`~repro.serve.faults.FaultInjector` (tests
+only) injects deterministic kernel faults, worker deaths and slow batches
+keyed on the dispatcher's batch index.
 """
 
 from __future__ import annotations
@@ -76,13 +96,15 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Union
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.encoding import Encoder
 from repro.nn.module import Module
 from repro.runtime.pool import CompiledNetworkPool
+from repro.serve.breaker import CircuitBreaker, ModelUnavailable
+from repro.serve.faults import FaultInjector, InjectedKernelFault, InjectedWorkerDeath
 from repro.serve.telemetry import RequestStat, ServeTelemetry
 
 
@@ -92,6 +114,10 @@ class ServerClosed(RuntimeError):
 
 class ServerOverloaded(RuntimeError):
     """Raised by ``overload="shed"`` admission control when the queue is full."""
+
+
+class RequestTimedOut(RuntimeError):
+    """Raised on a request's future when its ``deadline_ms`` expires before service."""
 
 
 #: Overload policy: reject surplus submits with :class:`ServerOverloaded`.
@@ -190,6 +216,16 @@ class InferenceServer:
     telemetry:
         Optional shared :class:`ServeTelemetry` (a fresh one is created by
         default, exposed as :attr:`telemetry`).
+    breaker:
+        Optional :class:`~repro.serve.breaker.CircuitBreaker` consulted on
+        every submit (open breaker ⇒ fail-fast
+        :class:`~repro.serve.breaker.ModelUnavailable` before the encode)
+        and fed every batch outcome.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultInjector` — test-only
+        hook injecting deterministic batch-level failures; ``None`` (the
+        default, and the only production value) costs one attribute check
+        per batch.
 
     Requests may be submitted before :meth:`start`: they queue up and are
     drained in FIFO chunks of exactly ``max_batch`` once the dispatcher
@@ -210,6 +246,8 @@ class InferenceServer:
         overload: str = OVERLOAD_SHED,
         telemetry: Optional[ServeTelemetry] = None,
         deadline_margin_ms: float = 5.0,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
@@ -232,6 +270,8 @@ class InferenceServer:
         self.max_queue = int(max_queue) if max_queue is not None else None
         self.overload = overload
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        self.breaker = breaker
+        self.faults = faults
 
         self._cv = threading.Condition()
         # Encoding is the dominant per-request CPU cost; it gets its own
@@ -240,8 +280,12 @@ class InferenceServer:
         # stalling the dispatcher, which waits on the queue condition.
         self._encode_lock = threading.Lock()
         self._queue: Deque[_Pending] = deque()
-        # Batches the dispatcher has cut, waiting for a worker thread.
-        self._ready: Deque[List[_Pending]] = deque()
+        # Batches the dispatcher has cut, waiting for a worker thread, as
+        # (batch_index, batch) — the index is assigned by the (single)
+        # dispatcher in FIFO order, so it is deterministic for a given
+        # submission sequence and keys the fault injector's decisions.
+        self._ready: Deque[Tuple[int, List[_Pending]]] = deque()
+        self._batch_sequence = 0
         # Back-pressure turnstile: one opaque token per blocked submitter,
         # in arrival order; the head waiter is admitted first (no barging).
         self._blocked: Deque[object] = deque()
@@ -254,6 +298,7 @@ class InferenceServer:
         # so resize() can grow and shrink the pool while serving.
         self._worker_threads: List[threading.Thread] = []
         self._live_workers = 0
+        self._worker_serial = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -276,9 +321,10 @@ class InferenceServer:
         """Bring the live worker-thread count up to ``self.workers`` (cv held)."""
         while self._live_workers < self.workers:
             self._live_workers += 1
+            self._worker_serial += 1
             thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-serve-worker-{len(self._worker_threads)}",
+                target=self._worker_entry,
+                name=f"repro-serve-worker-{self._worker_serial}",
                 daemon=True,
             )
             self._worker_threads.append(thread)
@@ -335,8 +381,16 @@ class InferenceServer:
             self._cv.notify_all()
         if self._dispatcher is not None:
             self._dispatcher.join()
-        for thread in list(self._worker_threads):
-            thread.join()
+        # The supervisor may respawn workers *during* this join (a worker
+        # dying mid-drain), so re-snapshot until the pool is quiescent
+        # instead of joining one stale list.
+        while True:
+            with self._cv:
+                threads = [t for t in self._worker_threads if t is not threading.current_thread()]
+            if not any(t.is_alive() for t in threads):
+                break
+            for thread in threads:
+                thread.join()
         # Anything still queued was abandoned (drain=False, or never started).
         abandoned: List[_Pending] = []
         with self._cv:
@@ -359,6 +413,18 @@ class InferenceServer:
         """Number of requests currently waiting to be batched."""
         with self._cv:
             return len(self._queue)
+
+    @property
+    def live_workers(self) -> int:
+        """Worker threads currently serving — the supervision invariant.
+
+        Between supervision windows (a death is detected and repaired
+        atomically under the server lock) this equals ``workers``; the
+        chaos suite asserts it post-recovery to prove capacity never
+        silently shrank.
+        """
+        with self._cv:
+            return self._live_workers
 
     @property
     def oldest_queue_age_ms(self) -> float:
@@ -475,7 +541,11 @@ class InferenceServer:
         last and may evict lower-lane traffic from a full queue);
         ``deadline_ms`` is a latency budget from *now* that makes the
         dispatcher cut a batch early rather than let this request blow it
-        waiting for company.
+        waiting for company — and a real timeout: once it expires the
+        request is never dispatched, its future failing with
+        :class:`RequestTimedOut` instead.  With a ``breaker`` attached, an
+        open circuit rejects the submit immediately with
+        :class:`~repro.serve.breaker.ModelUnavailable`.
         """
         image = np.asarray(image, dtype=np.float32)
         submitted = time.perf_counter()
@@ -484,6 +554,12 @@ class InferenceServer:
             raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
         if self._closed:
             raise ServerClosed("cannot submit to a stopped server")
+        if self.breaker is not None and not self.breaker.allow():
+            # Fail fast while the model is tripping: the caller pays
+            # neither the encode nor a queue slot for a doomed request.
+            raise ModelUnavailable(
+                "circuit breaker is open (model failing); request rejected fail-fast"
+            )
         if self.max_queue is not None and self.overload == OVERLOAD_SHED:
             # Fail fast before the (dominant) encode cost; the authoritative
             # admission under the lock below still guards against races and
@@ -556,11 +632,38 @@ class InferenceServer:
                 cutoff = min(cutoff, pending.deadline - self.deadline_margin)
         return wait_cutoff, cutoff
 
+    def _prune_expired_locked(self) -> None:
+        """Time out queued requests whose deadline has already passed (cv held).
+
+        Each expired request's future fails with :class:`RequestTimedOut`
+        immediately — it is never cut into a batch — and its lane's
+        timeout counter is incremented.  Freed queue slots wake blocked
+        submitters.
+        """
+        now = time.perf_counter()
+        if not any(p.deadline is not None and now >= p.deadline for p in self._queue):
+            return
+        keep: Deque[_Pending] = deque()
+        for pending in self._queue:
+            if pending.deadline is not None and now >= pending.deadline:
+                self.telemetry.record_timeout(priority=pending.priority)
+                pending.future.set_exception(
+                    RequestTimedOut(
+                        f"deadline expired {(now - pending.deadline) * 1000.0:.1f} ms "
+                        "before the batch was cut"
+                    )
+                )
+            else:
+                keep.append(pending)
+        self._queue = keep
+        self._cv.notify_all()
+
     def _take_batch(self) -> Optional[List[_Pending]]:
         """Block until a batch is ready (or shutdown); pop and return it."""
         with self._cv:
             deadline_cut = False
             while True:
+                self._prune_expired_locked()
                 if self._queue:
                     if len(self._queue) >= self.max_batch or self._closed:
                         break
@@ -598,13 +701,39 @@ class InferenceServer:
                         )
                     continue
                 with self._cv:
-                    self._ready.append(batch)
+                    self._ready.append((self._batch_sequence, batch))
+                    self._batch_sequence += 1
                     self._cv.notify_all()
         finally:
             # Workers drain whatever is in _ready, then retire.
             with self._cv:
                 self._dispatch_done = True
                 self._cv.notify_all()
+
+    def _worker_entry(self) -> None:
+        """Thread target wrapping :meth:`_worker_loop` with supervision.
+
+        An exception escaping the loop is a *dead worker*: the supervisor
+        (this wrapper, running as the thread's last act) records the death,
+        repairs the live-worker count, and spawns a replacement while work
+        remains — so capacity never silently shrinks.  The batch the worker
+        held was already requeued by the loop, preserving its composition.
+        """
+        try:
+            self._worker_loop()
+        except BaseException as exc:  # noqa: BLE001 - supervision boundary
+            with self._cv:
+                self._live_workers -= 1
+                self.telemetry.record_worker_death(f"{type(exc).__name__}: {exc}")
+                if not self._closed or self._ready or not self._dispatch_done:
+                    self._spawn_workers_locked()
+                self._cv.notify_all()
+        finally:
+            with self._cv:
+                try:
+                    self._worker_threads.remove(threading.current_thread())
+                except ValueError:  # pragma: no cover - defensive
+                    pass
 
     def _worker_loop(self) -> None:
         while True:
@@ -616,18 +745,59 @@ class InferenceServer:
                         self._cv.notify_all()
                         return
                     if self._ready:
-                        batch = self._ready.popleft()
+                        batch_index, batch = self._ready.popleft()
                         break
                     if self._closed and self._dispatch_done:
                         self._live_workers -= 1
                         self._cv.notify_all()
                         return
                     self._cv.wait()
-            self._run_batch(batch)
+            try:
+                self._process_batch(batch_index, batch)
+            except BaseException:
+                # The worker is about to die; put its batch back at the
+                # front (same index, same composition) so the respawned
+                # worker's retry serves bit-identical results.
+                with self._cv:
+                    self._ready.appendleft((batch_index, batch))
+                    self._cv.notify_all()
+                raise
 
-    def _run_batch(self, batch: List[_Pending]) -> None:
+    def _process_batch(self, batch_index: int, batch: List[_Pending]) -> None:
+        """Apply fault hooks and deadline cutoffs, then run the batch.
+
+        Requests whose deadline has already passed are failed here with
+        :class:`RequestTimedOut` instead of being served late; an injected
+        worker death escapes *before* the batch runs (the caller requeues
+        it), while an injected kernel fault fails inside the normal
+        batch-failure path.
+        """
+        fate = self.faults.on_batch(batch_index) if self.faults is not None else None
+        if fate is not None and fate.worker_death:
+            raise InjectedWorkerDeath(f"injected worker death at batch {batch_index}")
+        if fate is not None and fate.slow_ms > 0:
+            time.sleep(fate.slow_ms / 1000.0)
+        now = time.perf_counter()
+        live: List[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and now >= pending.deadline:
+                self.telemetry.record_timeout(priority=pending.priority)
+                pending.future.set_exception(
+                    RequestTimedOut(
+                        f"deadline expired {(now - pending.deadline) * 1000.0:.1f} ms "
+                        "before the batch started"
+                    )
+                )
+            else:
+                live.append(pending)
+        if live:
+            self._run_batch(live, inject_kernel_fault=fate is not None and fate.kernel_fault)
+
+    def _run_batch(self, batch: List[_Pending], inject_kernel_fault: bool = False) -> None:
         try:
             started = time.perf_counter()
+            if inject_kernel_fault:
+                raise InjectedKernelFault("injected kernel fault")
             spikes = (
                 batch[0].spikes
                 if len(batch) == 1
@@ -671,7 +841,14 @@ class InferenceServer:
                         priority=pending.priority,
                     )
                 )
+            if self.breaker is not None:
+                self.breaker.record_success()
         except BaseException as exc:  # noqa: BLE001 - must reach the futures
+            # Batch-level failure isolation: only THIS batch's futures see
+            # the error; the worker survives and the server keeps serving.
+            self.telemetry.record_failure(f"{type(exc).__name__}: {exc}", count=len(batch))
+            if self.breaker is not None:
+                self.breaker.record_failure()
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)

@@ -87,10 +87,25 @@ class ServeTelemetry:
         self.total_deadline_dispatches = 0
         self.total_scale_ups = 0
         self.total_scale_downs = 0
+        self.total_failed = 0
+        self.total_timed_out = 0
+        self.total_worker_deaths = 0
+        self.total_reload_failures = 0
+        self.total_breaker_opens = 0
+        self.total_breaker_closes = 0
+        self.total_breaker_rejections = 0
+        #: Current circuit-breaker state for the served model
+        #: (``closed``/``open``/``half_open``); stays ``closed`` when no
+        #: breaker is attached.
+        self.breaker_state = "closed"
+        #: Human-readable description of the most recent failure (batch
+        #: error, worker death, or reload failure); ``None`` until one occurs.
+        self.last_error: Optional[str] = None
         self.queue_depth_high_water = 0
         self.activity: Optional[RuntimeActivity] = None
         self._admitted_by_lane: Dict[int, int] = {}
         self._shed_by_lane: Dict[int, int] = {}
+        self._timed_out_by_lane: Dict[int, int] = {}
         self._scale_events: Deque[Dict[str, Any]] = deque(maxlen=SCALE_EVENT_HISTORY)
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
@@ -116,6 +131,52 @@ class ServeTelemetry:
         """Count one batch dispatched early to protect a request's deadline."""
         with self._lock:
             self.total_deadline_dispatches += 1
+
+    def record_failure(self, error: str, count: int = 1) -> None:
+        """Count ``count`` requests whose batch failed, remembering the error.
+
+        Called once per failed micro-batch with the batch size, so the
+        ``failed`` counter is in requests (comparable with ``requests`` /
+        ``shed``), while ``last_error`` keeps the most recent cause for the
+        rendered report.
+        """
+        with self._lock:
+            self.total_failed += int(count)
+            self.last_error = str(error)
+
+    def record_timeout(self, priority: int = 0) -> None:
+        """Count one request that missed its deadline (per priority lane)."""
+        with self._lock:
+            self.total_timed_out += 1
+            lane = int(priority)
+            self._timed_out_by_lane[lane] = self._timed_out_by_lane.get(lane, 0) + 1
+
+    def record_worker_death(self, error: str = "") -> None:
+        """Count one worker thread lost to an escaped exception (and respawned)."""
+        with self._lock:
+            self.total_worker_deaths += 1
+            if error:
+                self.last_error = str(error)
+
+    def record_reload_failure(self, error: str) -> None:
+        """Count one hot-reload that failed (old weights keep serving)."""
+        with self._lock:
+            self.total_reload_failures += 1
+            self.last_error = str(error)
+
+    def record_breaker_transition(self, state: str) -> None:
+        """Track a circuit-breaker state change (``closed``/``open``/``half_open``)."""
+        with self._lock:
+            if state == "open":
+                self.total_breaker_opens += 1
+            elif state == "closed" and self.breaker_state != "closed":
+                self.total_breaker_closes += 1
+            self.breaker_state = state
+
+    def record_breaker_rejection(self) -> None:
+        """Count one submit rejected fail-fast by an open circuit breaker."""
+        with self._lock:
+            self.total_breaker_rejections += 1
 
     def record_scale_event(
         self,
@@ -151,11 +212,12 @@ class ServeTelemetry:
             return list(self._scale_events)
 
     def lane_counters(self) -> Dict[str, Dict[int, int]]:
-        """Per-priority-lane admission counts: ``{"admitted": {...}, "shed": {...}}``."""
+        """Per-lane counts: ``{"admitted": {...}, "shed": {...}, "timed_out": {...}}``."""
         with self._lock:
             return {
                 "admitted": dict(self._admitted_by_lane),
                 "shed": dict(self._shed_by_lane),
+                "timed_out": dict(self._timed_out_by_lane),
             }
 
     def reset_activity(self) -> None:
@@ -284,6 +346,13 @@ class ServeTelemetry:
             "shed_low": float(shed_low),
             "queue_high_water": float(self.queue_depth_high_water),
             "deadline_dispatches": float(self.total_deadline_dispatches),
+            "failed": float(self.total_failed),
+            "timed_out": float(self.total_timed_out),
+            "worker_deaths": float(self.total_worker_deaths),
+            "reload_failures": float(self.total_reload_failures),
+            "breaker_opens": float(self.total_breaker_opens),
+            "breaker_closes": float(self.total_breaker_closes),
+            "breaker_rejections": float(self.total_breaker_rejections),
             "scale_ups": float(self.total_scale_ups),
             "scale_downs": float(self.total_scale_downs),
             "achieved_fps": self.achieved_fps(),
@@ -338,8 +407,16 @@ class ServeTelemetry:
         return comparison
 
 
-def format_telemetry(summary: Mapping[str, float], title: str = "Serving telemetry") -> str:
-    """Render a :meth:`ServeTelemetry.summary` dict as an aligned text block."""
+def format_telemetry(
+    summary: Mapping[str, float],
+    title: str = "Serving telemetry",
+    last_error: Optional[str] = None,
+) -> str:
+    """Render a :meth:`ServeTelemetry.summary` dict as an aligned text block.
+
+    ``last_error`` (typically :attr:`ServeTelemetry.last_error`) appends a
+    most-recent-failure line when the summary shows any failures.
+    """
     rows: List[tuple] = [
         ("requests", f"{summary.get('requests', 0):.0f}"),
         ("batches", f"{summary.get('batches', 0):.0f}"),
@@ -347,6 +424,17 @@ def format_telemetry(summary: Mapping[str, float], title: str = "Serving telemet
             "shed (low/high)",
             f"{summary.get('shed', 0):.0f} "
             f"({summary.get('shed_low', 0):.0f}/{summary.get('shed_high', 0):.0f})",
+        ),
+        (
+            "failed / timed out",
+            f"{summary.get('failed', 0):.0f} / {summary.get('timed_out', 0):.0f}",
+        ),
+        ("worker deaths", f"{summary.get('worker_deaths', 0):.0f}"),
+        (
+            "breaker open/close/rej",
+            f"{summary.get('breaker_opens', 0):.0f}/"
+            f"{summary.get('breaker_closes', 0):.0f}/"
+            f"{summary.get('breaker_rejections', 0):.0f}",
         ),
         ("queue high-water", f"{summary.get('queue_high_water', 0):.0f}"),
         (
@@ -363,4 +451,6 @@ def format_telemetry(summary: Mapping[str, float], title: str = "Serving telemet
     width = max(len(name) for name, _ in rows)
     lines = [title, "-" * len(title)]
     lines.extend(f"  {name.ljust(width)} : {value}" for name, value in rows)
+    if last_error:
+        lines.append(f"  {'last error'.ljust(width)} : {last_error}")
     return "\n".join(lines)

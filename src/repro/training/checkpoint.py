@@ -19,10 +19,11 @@ saved generator mid-state.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,7 +35,8 @@ from repro.nn.module import Module
 from repro.utils import atomic_write
 
 #: Bump when the archive layout or header structure changes.
-CHECKPOINT_FORMAT_VERSION = 1
+#: 2: content checksum over the parameter arrays added to the header.
+CHECKPOINT_FORMAT_VERSION = 2
 
 #: Prefix distinguishing parameter arrays from the header inside the archive.
 _PARAM_PREFIX = "param/"
@@ -45,6 +47,16 @@ PathLike = Union[str, Path]
 
 class CheckpointError(ValueError):
     """Raised when a checkpoint cannot be written or reconstructed."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """Raised when a checkpoint file is torn, unreadable, or fails its checksum.
+
+    This is the typed signal the serving layer degrades on: a gateway
+    hot-reload that hits it keeps serving the previous weights (the reload
+    failure becomes a telemetry event, not an outage), instead of treating
+    a corrupt republish like a fatal server error.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -175,6 +187,24 @@ def build_model(spec: Dict[str, Any]) -> Module:
 # ---------------------------------------------------------------------- #
 # Save / load
 # ---------------------------------------------------------------------- #
+def state_checksum(arrays: Mapping[str, np.ndarray]) -> str:
+    """Content sha-256 over a named array mapping (order-independent).
+
+    The digest covers each array's name, shape, dtype and raw bytes in
+    sorted-name order, so any bit flip in any parameter — or a renamed,
+    reshaped or re-typed parameter — changes the checksum.  Stored in the
+    checkpoint header at save time and re-verified on load.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
 def save_checkpoint(
     path: PathLike,
     model: Module,
@@ -195,18 +225,20 @@ def save_checkpoint(
     metadata:
         Optional JSON-serialisable caller payload (config, metrics, ...).
     """
+    state = model.state_dict()
     header = {
         "format": CHECKPOINT_FORMAT_VERSION,
         "repro_version": repro.__version__,
         "model": model_spec(model),
         "encoder": encoder_spec(encoder) if encoder is not None else None,
         "metadata": metadata or {},
+        "checksum": state_checksum(state),
     }
     try:
         header_json = json.dumps(header, sort_keys=True)
     except TypeError as exc:
         raise CheckpointError(f"checkpoint metadata is not JSON-serialisable: {exc}") from None
-    arrays = {_PARAM_PREFIX + name: value for name, value in model.state_dict().items()}
+    arrays = {_PARAM_PREFIX + name: value for name, value in state.items()}
 
     path = Path(path)
     buffer = io.BytesIO()
@@ -224,10 +256,15 @@ def read_checkpoint_metadata(path: PathLike) -> Dict[str, Any]:
     reconstruction.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        if _HEADER_KEY not in archive.files:
-            raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
-        header = json.loads(str(archive[_HEADER_KEY][()]))
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _HEADER_KEY not in archive.files:
+                raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
+            header = json.loads(str(archive[_HEADER_KEY][()]))
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointIntegrityError(f"cannot read checkpoint {path}: {exc}") from exc
     return header.get("metadata", {})
 
 
@@ -238,19 +275,31 @@ def load_checkpoint(path: PathLike) -> Tuple[Module, Optional[Encoder], Dict[str
     ``encoder`` is ``None`` when the checkpoint was saved without one.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        if _HEADER_KEY not in archive.files:
-            raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
-        header = json.loads(str(archive[_HEADER_KEY][()]))
-        state = {
-            key[len(_PARAM_PREFIX):]: archive[key]
-            for key in archive.files
-            if key.startswith(_PARAM_PREFIX)
-        }
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _HEADER_KEY not in archive.files:
+                raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
+            header = json.loads(str(archive[_HEADER_KEY][()]))
+            state = {
+                key[len(_PARAM_PREFIX):]: archive[key]
+                for key in archive.files
+                if key.startswith(_PARAM_PREFIX)
+            }
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        # A torn/truncated archive surfaces as the typed integrity error the
+        # gateway degrades on, not a raw zipfile/numpy exception.
+        raise CheckpointIntegrityError(f"cannot read checkpoint {path}: {exc}") from exc
     if header.get("format") != CHECKPOINT_FORMAT_VERSION:
         raise CheckpointError(
             f"unsupported checkpoint format {header.get('format')!r} "
             f"(this code reads format {CHECKPOINT_FORMAT_VERSION})"
+        )
+    expected = header.get("checksum")
+    if expected is not None and state_checksum(state) != expected:
+        raise CheckpointIntegrityError(
+            f"checkpoint {path} failed its content checksum (file corrupted in place?)"
         )
     model = build_model(header["model"])
     model.load_state_dict(state)

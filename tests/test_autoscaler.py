@@ -271,6 +271,7 @@ class TestSloAwareScheduling:
         assert telemetry.lane_counters() == {
             "admitted": {0: 2, 1: 2},
             "shed": {0: 3, 1: 1},
+            "timed_out": {},
         }
         summary = telemetry.summary()
         assert summary["admitted_high"] == 2

@@ -1,0 +1,598 @@
+"""Chaos suite: deterministic fault injection across the serving/sweep stack.
+
+Every failure mode this repo claims to tolerate is *induced* here, on a
+seeded schedule, and the recovery contract asserted:
+
+- a worker thread dying mid-batch is respawned and its batch re-served
+  bit-identically (capacity never silently shrinks);
+- a batch-level inference failure resolves only that batch's futures while
+  subsequent batches keep serving;
+- expired deadlines produce ``RequestTimedOut`` instead of late dispatch;
+- the circuit breaker opens after consecutive failures, fails submits fast,
+  and re-closes after a successful half-open probe;
+- a torn checkpoint republish degrades the gateway to the old weights
+  (reload failure is an event, not an outage);
+- a sweep with a poisoned cell completes the rest of the grid under
+  ``on_error="collect"`` and retried flaky cells stay bit-identical;
+- corrupt cache files are *reported* by ``python -m repro.exec inspect``,
+  never crash it.
+
+``REPRO_FAULT_SEED`` (CI runs a small matrix) reseeds the rate-based storm
+schedules; explicit-schedule tests are seed-independent by construction.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from contextlib import contextmanager
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro.exec.executor as executor_mod
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import make_dataset, make_encoder, make_model
+from repro.exec import ExperimentCache, FailedCell, run_experiments
+from repro.exec.cli import main as cache_cli_main
+from repro.exec.executor import CellExecutionError, fork_available
+from repro.runtime import compile_network
+from repro.serve import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultInjector,
+    InferenceServer,
+    InjectedFault,
+    InjectedKernelFault,
+    ModelRegistry,
+    ModelUnavailable,
+    RequestTimedOut,
+    ServeGateway,
+    ServeTelemetry,
+    tear_checkpoint,
+)
+from repro.training.checkpoint import (
+    CheckpointIntegrityError,
+    load_checkpoint,
+    read_checkpoint_metadata,
+    save_checkpoint,
+)
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+
+
+@pytest.fixture
+def micro_config(micro_scale) -> ExperimentConfig:
+    return ExperimentConfig(scale=micro_scale, seed=0)
+
+
+@pytest.fixture
+def untrained(micro_config):
+    """Model + encoder + test images without the cost of training."""
+    model = make_model(micro_config)
+    model.eval()
+    encoder = make_encoder(micro_config)
+    _, test_loader = make_dataset(micro_config)
+    images = []
+    for batch_images, _ in test_loader:
+        images.extend(list(batch_images))
+    return model, encoder, images
+
+
+def _reference_counts(config, model, images, max_batch):
+    """Offline counts for images encoded in submission order, FIFO chunks."""
+    encoder = make_encoder(config)
+    plan = compile_network(model)
+    trains = [encoder(image[None]) for image in images]
+    rows = []
+    for i in range(0, len(trains), max_batch):
+        chunk = trains[i : i + max_batch]
+        spikes = chunk[0] if len(chunk) == 1 else np.concatenate(chunk, axis=1)
+        rows.extend(np.asarray(plan.run(spikes, record_activity=False).counts))
+    return np.stack(rows)
+
+
+# --------------------------------------------------------------------- #
+# FaultInjector determinism
+# --------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(seed=7, kernel_fault_rate=0.3, worker_death_rate=0.2, slow_batch_rate=0.3)
+        b = FaultInjector(seed=7, kernel_fault_rate=0.3, worker_death_rate=0.2, slow_batch_rate=0.3)
+        fates_a = [a.on_batch(i) for i in range(64)]
+        fates_b = [b.on_batch(i) for i in range(64)]
+        assert fates_a == fates_b
+        assert a.injected_counts == b.injected_counts
+
+    def test_decisions_independent_of_call_order(self):
+        forward = FaultInjector(seed=3, kernel_fault_rate=0.4)
+        backward = FaultInjector(seed=3, kernel_fault_rate=0.4)
+        indices = list(range(32))
+        by_index = {i: forward.on_batch(i) for i in indices}
+        for i in reversed(indices):
+            assert backward.on_batch(i) == by_index[i]
+
+    def test_worker_death_is_one_shot_per_index(self):
+        injector = FaultInjector(worker_death_batches={5})
+        assert injector.on_batch(5).worker_death
+        # The requeued batch must run clean, or the pool would death-loop.
+        assert not injector.on_batch(5).worker_death
+        assert injector.injected_counts["worker_deaths"] == 1
+
+    def test_explicit_schedules_compose_with_clean_default(self):
+        injector = FaultInjector(kernel_fault_batches={2}, slow_batches={3}, slow_batch_ms=7.5)
+        assert not injector.on_batch(0).kernel_fault
+        assert injector.on_batch(2).kernel_fault
+        fate = injector.on_batch(3)
+        assert fate.slow_ms == 7.5 and not fate.kernel_fault
+        counts = injector.injected_counts
+        assert counts == {"kernel_faults": 1, "worker_deaths": 0, "slow_batches": 1}
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint integrity
+# --------------------------------------------------------------------- #
+class TestCheckpointIntegrity:
+    def test_tear_checkpoint_is_deterministic(self, tmp_path, untrained, micro_config):
+        model, encoder, _ = untrained
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_checkpoint(a, model, encoder)
+        b.write_bytes(a.read_bytes())
+        tear_checkpoint(a, seed=11)
+        tear_checkpoint(b, seed=11)
+        assert a.read_bytes() == b.read_bytes()
+        assert len(a.read_bytes()) < len(save_checkpoint(tmp_path / "c.npz", model, encoder).read_bytes())
+
+    def test_torn_file_raises_typed_integrity_error(self, tmp_path, untrained):
+        model, encoder, _ = untrained
+        path = save_checkpoint(tmp_path / "ck.npz", model, encoder)
+        assert load_checkpoint(path)  # sanity: intact file loads
+        tear_checkpoint(path, seed=FAULT_SEED)
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(path)
+        with pytest.raises(CheckpointIntegrityError):
+            read_checkpoint_metadata(path)
+
+    def test_checksum_mismatch_raises_integrity_error(self, tmp_path, untrained):
+        model, encoder, _ = untrained
+        path = save_checkpoint(tmp_path / "ck.npz", model, encoder)
+        # Flip one weight bit but keep the original header: a valid archive
+        # whose content no longer matches its recorded checksum.
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        header = str(arrays.pop("__checkpoint__")[()])
+        target = next(key for key in arrays if key.startswith("param/"))
+        tampered = arrays[target].copy()
+        tampered.flat[0] += 1.0
+        arrays[target] = tampered
+        buffer = io.BytesIO()
+        np.savez(buffer, **{"__checkpoint__": header}, **arrays)
+        path.write_bytes(buffer.getvalue())
+        with pytest.raises(CheckpointIntegrityError, match="checksum"):
+            load_checkpoint(path)
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker state machine
+# --------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def _breaker(self, **overrides):
+        clock = SimpleNamespace(now=0.0)
+        policy = BreakerPolicy(
+            failure_threshold=overrides.pop("failure_threshold", 2),
+            backoff_initial_s=1.0,
+            backoff_max_s=8.0,
+            backoff_factor=2.0,
+            jitter=0.0,
+            **overrides,
+        )
+        telemetry = ServeTelemetry()
+        return CircuitBreaker(policy, telemetry=telemetry, clock=lambda: clock.now), clock, telemetry
+
+    def test_opens_after_consecutive_failures_only(self):
+        breaker, _, telemetry = self._breaker()
+        breaker.record_failure()
+        breaker.record_success()  # resets the consecutive count
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert telemetry.total_breaker_opens == 1
+        assert telemetry.breaker_state == "open"
+
+    def test_open_rejects_until_backoff_then_probes(self):
+        breaker, clock, telemetry = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert telemetry.total_breaker_rejections == 1
+        clock.now = 1.0  # backoff_initial_s elapsed
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # second caller still rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert telemetry.total_breaker_closes == 1
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_grown_backoff(self):
+        breaker, clock, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails -> backoff doubles
+        assert breaker.state == "open"
+        clock.now = 2.0  # only 1s later: still open
+        assert not breaker.allow()
+        clock.now = 3.0  # 2s after reopen: probe admitted
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError, match="jitter"):
+            BreakerPolicy(jitter=1.5)
+
+
+# --------------------------------------------------------------------- #
+# Scheduler: supervision, batch isolation, deadlines
+# --------------------------------------------------------------------- #
+class TestSchedulerSupervision:
+    def test_worker_death_respawns_and_batch_is_reserved_bit_identically(
+        self, micro_config, untrained
+    ):
+        model, encoder, images = untrained
+        faults = FaultInjector(worker_death_batches={0})
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=0.0, faults=faults)
+        futures = [server.submit(image) for image in images[:8]]
+        server.start()
+        served = np.stack([f.result(timeout=30).counts for f in futures])
+        assert server.live_workers == server.workers  # capacity restored
+        telemetry = server.telemetry
+        server.stop()
+        np.testing.assert_array_equal(
+            served, _reference_counts(micro_config, model, images[:8], 4)
+        )
+        assert telemetry.total_worker_deaths == 1
+        assert telemetry.total_failed == 0  # the requeued batch served clean
+        assert faults.injected_counts["worker_deaths"] == 1
+        assert "InjectedWorkerDeath" in telemetry.last_error
+
+    def test_kernel_fault_fails_only_its_batch(self, micro_config, untrained):
+        model, encoder, images = untrained
+        images = (images * 2)[:12]  # micro scale ships 8 test images; need 3 batches
+        faults = FaultInjector(kernel_fault_batches={1})
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=0.0, faults=faults)
+        futures = [server.submit(image) for image in images]
+        server.start()
+        reference = _reference_counts(micro_config, model, images, 4)
+        # Batch 1 (requests 4..7): every future fails with the injected error.
+        for future in futures[4:8]:
+            with pytest.raises(InjectedKernelFault):
+                future.result(timeout=30)
+        # Batches 0 and 2 serve bit-identically; the server survived.
+        for i in list(range(0, 4)) + list(range(8, 12)):
+            np.testing.assert_array_equal(futures[i].result(timeout=30).counts, reference[i])
+        telemetry = server.telemetry
+        server.stop()
+        assert telemetry.total_failed == 4
+        assert telemetry.total_worker_deaths == 0
+        assert "InjectedKernelFault" in telemetry.last_error
+
+    def test_real_backend_exception_isolated_mid_batch(self, micro_config, untrained, monkeypatch):
+        """Satellite: a genuine inference exception resolves only its batch."""
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=4, max_wait_ms=0.0)
+        real_acquire = server.pool.acquire
+        state = {"calls": 0}
+
+        @contextmanager
+        def flaky_acquire():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise RuntimeError("inference backend exploded")
+            with real_acquire() as plan:
+                yield plan
+
+        monkeypatch.setattr(server.pool, "acquire", flaky_acquire)
+        futures = [server.submit(image) for image in images[:8]]
+        server.start()
+        reference = _reference_counts(micro_config, model, images[:8], 4)
+        for future in futures[:4]:
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                future.result(timeout=30)
+        for i in range(4, 8):
+            np.testing.assert_array_equal(futures[i].result(timeout=30).counts, reference[i])
+        telemetry = server.telemetry
+        server.stop()
+        assert telemetry.total_failed == 4
+        assert telemetry.summary()["failed"] == 4.0
+        assert "backend exploded" in telemetry.last_error
+
+    def test_expired_deadline_times_out_instead_of_dispatching(self, untrained):
+        model, encoder, images = untrained
+        server = InferenceServer(model, encoder, max_batch=2, max_wait_ms=0.0)
+        doomed = server.submit(images[0], deadline_ms=5.0, priority=1)
+        healthy = server.submit(images[1])
+        time.sleep(0.05)  # deadline passes while the server is not yet started
+        server.start()
+        with pytest.raises(RequestTimedOut):
+            doomed.result(timeout=30)
+        assert healthy.result(timeout=30).counts.shape
+        telemetry = server.telemetry
+        server.stop()
+        assert telemetry.total_timed_out == 1
+        assert telemetry.lane_counters()["timed_out"] == {1: 1}
+        assert telemetry.summary()["timed_out"] == 1.0
+
+    def test_breaker_trips_rejects_then_recovers(self, untrained):
+        model, encoder, images = untrained
+        faults = FaultInjector(kernel_fault_batches={0, 1})
+        telemetry = ServeTelemetry()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, backoff_initial_s=0.05, jitter=0.0),
+            telemetry=telemetry,
+        )
+        server = InferenceServer(
+            model, encoder, max_batch=1, max_wait_ms=0.0,
+            telemetry=telemetry, breaker=breaker, faults=faults,
+        )
+        server.start()
+        for i in range(2):  # two consecutive failing batches trip the breaker
+            with pytest.raises(InjectedKernelFault):
+                server.submit(images[i]).result(timeout=30)
+        assert breaker.state == "open"
+        with pytest.raises(ModelUnavailable):
+            server.submit(images[2])
+        time.sleep(0.1)  # backoff elapses -> half-open probe admitted
+        probe = server.submit(images[2]).result(timeout=30)
+        assert probe.counts.shape
+        assert breaker.state == "closed"
+        server.submit(images[3]).result(timeout=30)
+        server.stop()
+        summary = telemetry.summary()
+        assert summary["breaker_opens"] == 1.0
+        assert summary["breaker_closes"] == 1.0
+        assert summary["breaker_rejections"] >= 1.0
+
+    def test_rate_based_storm_accounting_closes(self, untrained):
+        """Seed-matrix leg: under a random storm every future still resolves."""
+        model, encoder, images = untrained
+        faults = FaultInjector(
+            seed=FAULT_SEED,
+            kernel_fault_rate=0.25,
+            worker_death_rate=0.15,
+            slow_batch_rate=0.2,
+            slow_batch_ms=2.0,
+        )
+        server = InferenceServer(
+            model, encoder, max_batch=2, max_wait_ms=0.0, workers=2, faults=faults
+        )
+        futures = [server.submit(image) for image in images * 2]
+        server.start()
+        served = failed = 0
+        for future in futures:
+            try:
+                future.result(timeout=60)
+                served += 1
+            except InjectedFault:
+                failed += 1
+        assert server.live_workers == server.workers
+        telemetry = server.telemetry
+        server.stop()
+        assert served + failed == len(futures)
+        assert telemetry.total_failed == failed
+        counts = faults.injected_counts
+        assert telemetry.total_worker_deaths == counts["worker_deaths"]
+
+
+# --------------------------------------------------------------------- #
+# Gateway: degrade on torn republish
+# --------------------------------------------------------------------- #
+class TestGatewayDegradedReload:
+    def _publish(self, registry, name, config):
+        model = make_model(config)
+        model.eval()
+        registry.save(name, model, make_encoder(config), config=config)
+        return model
+
+    def test_torn_republish_keeps_serving_old_weights(self, tmp_path, micro_config, untrained):
+        _, _, images = untrained
+        registry = ModelRegistry(tmp_path)
+        model_v1 = self._publish(registry, "m", micro_config)
+        # Reference stream: one fresh encoder encoding six images in order
+        # (the gateway's serving encoder advances the same way).
+        reference = _reference_counts(micro_config, model_v1, images[:6], 1)
+        with ServeGateway(registry, max_batch=4, max_wait_ms=1.0) as gateway:
+            pre = np.stack(
+                [gateway.submit("m", image).result(timeout=30).counts for image in images[:3]]
+            )
+            np.testing.assert_array_equal(pre, reference[:3])
+
+            tear_checkpoint(registry.checkpoint_path("m"), seed=FAULT_SEED)
+            assert gateway.refresh("m") is False  # reload failed, not crashed
+            post = np.stack(
+                [gateway.submit("m", image).result(timeout=30).counts for image in images[3:6]]
+            )
+            np.testing.assert_array_equal(post, reference[3:6])  # old weights live
+
+            telemetry = gateway.telemetry("m")
+            assert telemetry.total_reload_failures == 1
+            assert "CheckpointIntegrityError" in gateway.last_errors()["m"]
+            summary = gateway.summary()
+            assert summary["totals"]["reload_failures"] == 1.0
+            assert summary["models"]["m"]["reload_failures"] == 1.0
+
+            # The next GOOD republish is picked up normally.
+            config_v2 = micro_config.with_overrides(seed=1)
+            model_v2 = self._publish(registry, "m", config_v2)
+            assert gateway.refresh("m") is True
+            served_v2 = np.stack(
+                [gateway.submit("m", image).result(timeout=30).counts for image in images[:3]]
+            )
+            np.testing.assert_array_equal(
+                served_v2, _reference_counts(config_v2, model_v2, images[:3], 1)
+            )
+
+    def test_torn_republish_does_not_rescan_every_submit(self, tmp_path, micro_config, untrained):
+        _, _, images = untrained
+        registry = ModelRegistry(tmp_path)
+        self._publish(registry, "m", micro_config)
+        with ServeGateway(registry, max_batch=4, max_wait_ms=1.0) as gateway:
+            gateway.submit("m", images[0]).result(timeout=30)
+            tear_checkpoint(registry.checkpoint_path("m"), seed=FAULT_SEED)
+            for image in images[1:4]:
+                gateway.submit("m", image).result(timeout=30)
+            # One failure event for one bad publish, however many submits.
+            assert gateway.telemetry("m").total_reload_failures == 1
+
+
+# --------------------------------------------------------------------- #
+# Executor: collect + retries
+# --------------------------------------------------------------------- #
+class TestExecutorFailurePolicy:
+    @pytest.fixture
+    def micro_configs(self, micro_scale):
+        return [
+            ExperimentConfig(scale=micro_scale, seed=0, beta=0.25),
+            ExperimentConfig(scale=micro_scale, seed=1, beta=0.5),
+            ExperimentConfig(scale=micro_scale, seed=2, threshold=1.5),
+        ]
+
+    def test_collect_reports_poisoned_cell_and_completes_grid(
+        self, micro_configs, monkeypatch
+    ):
+        poisoned = micro_configs[1].describe()
+
+        def _selective_boom(config, **kwargs):
+            if config.describe() == poisoned:
+                raise RuntimeError("permanently poisoned cell")
+            return SimpleNamespace(config=config)
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _selective_boom)
+        results = run_experiments(micro_configs, workers=1, on_error="collect")
+        assert len(results) == 3
+        failure = results[1]
+        assert isinstance(failure, FailedCell)
+        assert not failure  # falsy, filters like a missing record
+        assert failure.index == 1 and failure.label == poisoned
+        assert "permanently poisoned cell" in failure.error and "Traceback" in failure.error
+        assert failure.attempts == 1
+        assert [r.config for r in results if r] == [micro_configs[0], micro_configs[2]]
+
+    def test_raise_policy_still_aborts(self, micro_configs, monkeypatch):
+        monkeypatch.setattr(
+            executor_mod, "run_experiment",
+            lambda config, **kwargs: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(CellExecutionError, match="boom"):
+            run_experiments(micro_configs[:1], workers=1)
+
+    def test_retries_rerun_flaky_cell_with_identical_seeding(
+        self, micro_configs, monkeypatch
+    ):
+        """A retried success must equal a first-attempt success bit for bit."""
+        flaky = micro_configs[0].describe()
+        attempts = {"n": 0}
+
+        def _rng_record(config, **kwargs):
+            # Capture the post-reseed global RNG stream: if retries reseed
+            # identically, the retried draw equals the first-attempt draw.
+            if config.describe() == flaky:
+                attempts["n"] += 1
+                if attempts["n"] == 1:
+                    raise RuntimeError("transient flake")
+            return SimpleNamespace(config=config, draw=float(np.random.random()))
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _rng_record)
+        with_retry = run_experiments(
+            micro_configs[:1], workers=1, retries=1, retry_backoff_s=0.001
+        )
+        assert attempts["n"] == 2
+        clean = run_experiments(micro_configs[:1], workers=1)
+        assert with_retry[0].draw == clean[0].draw
+
+    def test_collect_failure_attempts_counts_all_retries(self, micro_configs, monkeypatch):
+        monkeypatch.setattr(
+            executor_mod, "run_experiment",
+            lambda config, **kwargs: (_ for _ in ()).throw(RuntimeError("always")),
+        )
+        results = run_experiments(
+            micro_configs[:1], workers=1, on_error="collect", retries=2, retry_backoff_s=0.001
+        )
+        assert results[0].attempts == 3
+
+    @needs_fork
+    def test_collect_works_across_the_process_pool(self, micro_configs, monkeypatch):
+        poisoned = micro_configs[2].describe()
+
+        def _selective_boom(config, **kwargs):
+            if config.describe() == poisoned:
+                raise RuntimeError("poisoned in a worker")
+            return SimpleNamespace(config=config)
+
+        monkeypatch.setattr(executor_mod, "run_experiment", _selective_boom)
+        results = run_experiments(
+            micro_configs, workers=2, start_method="fork", on_error="collect"
+        )
+        assert isinstance(results[2], FailedCell)
+        assert "poisoned in a worker" in results[2].error
+        assert [r.config for r in results if r] == micro_configs[:2]
+
+    def test_failed_cells_are_never_cached(self, micro_configs, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            executor_mod, "run_experiment",
+            lambda config, **kwargs: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        run_experiments(micro_configs[:1], workers=1, on_error="collect", cache=tmp_path)
+        assert len(ExperimentCache(tmp_path)) == 0
+
+    def test_invalid_policy_arguments_rejected(self, micro_configs):
+        with pytest.raises(ValueError, match="on_error"):
+            run_experiments(micro_configs[:1], on_error="ignore")
+        with pytest.raises(ValueError, match="retries"):
+            run_experiments(micro_configs[:1], retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            run_experiments(micro_configs[:1], retry_backoff_s=-0.5)
+
+
+# --------------------------------------------------------------------- #
+# Cache corruption through the CLI (satellite)
+# --------------------------------------------------------------------- #
+class TestCacheCorruptionCLI:
+    def _store(self, root, config):
+        cache = ExperimentCache(root)
+        key = cache.key(config)
+        path = cache.store(key, SimpleNamespace(config=config))
+        return cache, key, path
+
+    def test_inspect_reports_corrupt_sidecar_instead_of_crashing(
+        self, tmp_path, micro_config, capsys
+    ):
+        _, _, path = self._store(tmp_path, micro_config)
+        path.with_suffix(".json").write_text("{ not json !")
+        assert cache_cli_main(["--root", str(tmp_path), "inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt sidecar" in out
+
+    def test_inspect_survives_corrupt_payload(self, tmp_path, micro_config, capsys):
+        cache, key, path = self._store(tmp_path, micro_config)
+        path.write_bytes(b"\x00garbage, not a pickle")
+        assert cache_cli_main(["--root", str(tmp_path), "inspect"]) == 0
+        assert key[:12] in capsys.readouterr().out
+        # And the library treats the damaged payload as a miss, not an error.
+        assert ExperimentCache(tmp_path).load(key) is None
+
+    def test_inspect_reports_structurally_wrong_sidecar(self, tmp_path, micro_config, capsys):
+        _, _, path = self._store(tmp_path, micro_config)
+        path.with_suffix(".json").write_text(json.dumps({"config": ["not", "a", "dict"]}))
+        assert cache_cli_main(["--root", str(tmp_path), "inspect"]) == 0
+        assert "corrupt sidecar" in capsys.readouterr().out

@@ -440,7 +440,7 @@ class TestTelemetryMath:
         text = format_telemetry(summary)
         assert "requests" in text and "scale up/down" in text
         assert np.isnan(telemetry.queue_percentiles()["queue_p95_ms"])
-        assert telemetry.lane_counters() == {"admitted": {}, "shed": {}}
+        assert telemetry.lane_counters() == {"admitted": {}, "shed": {}, "timed_out": {}}
 
     def test_shed_only_window(self):
         """Every arrival rejected: sheds counted per lane, percentiles stay NaN."""
