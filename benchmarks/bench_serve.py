@@ -50,13 +50,11 @@ prediction for the *same measured spike traffic* (see
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 
-from .conftest import RESULTS_DIR, run_once
-from repro.analysis.io import save_json
+from .conftest import run_once, update_bench_json
 from repro.core.config import ExperimentConfig, SCALE_PRESETS
 from repro.core.experiment import make_dataset
 from repro.hardware.report import format_measured_vs_modeled
@@ -102,17 +100,7 @@ HIGH_PRIORITY_DEADLINE_MS = 250.0
 
 def _update_bench_json(section: str, payload: dict) -> None:
     """Merge one scenario's metrics into ``BENCH_serve.json`` (keyed by section)."""
-    path = RESULTS_DIR / "BENCH_serve.json"
-    doc = {}
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            if isinstance(loaded, dict):
-                doc = loaded
-        except (OSError, ValueError):
-            doc = {}
-    doc[section] = payload
-    save_json(doc, path)
+    update_bench_json("BENCH_serve.json", section, payload)
 
 
 def _collect_images(config: ExperimentConfig, count: int):

@@ -39,6 +39,31 @@ def bench_smoke() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") != "1"
 
 
+def update_bench_json(filename: str, section: str, payload: dict) -> None:
+    """Merge one scenario's metrics into ``benchmarks/results/<filename>``.
+
+    Each ``BENCH_*.json`` document is a flat mapping of section name to
+    payload dict; re-running a single scenario overwrites only its own
+    section so partial runs never clobber the rest of the document.  A
+    corrupt or non-dict file is replaced rather than crashing the bench.
+    """
+    import json
+
+    from repro.analysis.io import save_json
+
+    path = RESULTS_DIR / filename
+    doc = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                doc = loaded
+        except (OSError, ValueError):
+            doc = {}
+    doc[section] = payload
+    save_json(doc, path)
+
+
 @pytest.fixture(scope="session")
 def results_store():
     """Session-wide JSON store for measured headline numbers."""

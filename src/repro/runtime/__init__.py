@@ -32,11 +32,18 @@ analogue of the sparsity-aware accelerator:
 from repro.runtime.activity import RuntimeActivity
 from repro.runtime.bench import SpeedupResult, make_reduced_cnn, make_spike_sequence, measure_speedup
 from repro.runtime.engine import (
+    AccuracyDelta,
+    AccuracyGateError,
     CompiledNetwork,
+    INT_PRECISION_BITS,
     InferenceResult,
+    PRECISIONS,
     RuntimeCompileError,
+    check_accuracy_delta,
     compile_network,
+    default_input_scale,
     evaluate_with_runtime,
+    resolve_quantization,
     run_inference,
 )
 from repro.runtime.pool import CompiledNetworkPool
@@ -48,6 +55,9 @@ from repro.runtime.kernels import (
     Kernel,
     LinearKernel,
     MaxPoolKernel,
+    QuantizedConvKernel,
+    QuantizedLIFKernel,
+    QuantizedLinearKernel,
 )
 
 __all__ = [
@@ -56,12 +66,19 @@ __all__ = [
     "make_reduced_cnn",
     "make_spike_sequence",
     "measure_speedup",
+    "AccuracyDelta",
+    "AccuracyGateError",
     "CompiledNetwork",
     "CompiledNetworkPool",
     "InferenceResult",
+    "PRECISIONS",
+    "INT_PRECISION_BITS",
     "RuntimeCompileError",
+    "check_accuracy_delta",
     "compile_network",
+    "default_input_scale",
     "evaluate_with_runtime",
+    "resolve_quantization",
     "run_inference",
     "Kernel",
     "ConvKernel",
@@ -70,4 +87,7 @@ __all__ = [
     "MaxPoolKernel",
     "AvgPoolKernel",
     "FlattenKernel",
+    "QuantizedConvKernel",
+    "QuantizedLinearKernel",
+    "QuantizedLIFKernel",
 ]

@@ -20,7 +20,21 @@ gates, not silently accepted.
 
 Weight kernels reference the live parameter arrays of the model they were
 compiled from (no copy), so a compiled network tracks in-place weight
-updates such as ``load_state_dict``.
+updates such as ``load_state_dict``.  Kernels that execute in a different
+representation — the ``compute_dtype`` float64 reference path and the
+quantized integer kernels — refresh their derived arrays from the live
+source parameters in :meth:`Kernel.prepare`, which the engine calls at the
+start of every run, so the same contract holds for them.
+
+Quantized kernels (``Quantized*Kernel``) execute the integer arithmetic of
+the modeled accelerator while *carrying* the integers in float arrays so the
+contraction still runs through BLAS (NumPy integer matmul bypasses BLAS and
+is far slower).  Every carried value is an exact integer: float32 represents
+all integers up to 2**24 and float64 up to 2**53, and each kernel bounds its
+worst-case accumulator magnitude at prepare time (sum of |addends|, valid
+for any summation order BLAS may choose) to pick the narrowest exact
+carrier.  The results are therefore bit-exact integer arithmetic, not an
+approximation of it.
 """
 
 from __future__ import annotations
@@ -29,6 +43,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
+
+from repro.hardware.quantization import QuantizationConfig, quantize_array_int
+
+#: Largest integer magnitude exactly representable in a float32 accumulator.
+_FLOAT32_EXACT = float(2 ** 24)
 
 
 class Kernel:
@@ -77,6 +96,12 @@ class LinearKernel(Kernel):
        beyond a few samples the loop overhead swamps the skipped MACs
        (measured: ~1/3 of micro-batched serving time before the limit).
     3. **dense** — BLAS matmul on the same arrays the autograd op uses.
+
+    ``compute_dtype`` selects a reference execution precision: when set
+    (e.g. ``np.float64``), :meth:`prepare` refreshes a cast copy of the live
+    weights and :meth:`run` casts incoming frames, so the whole affine step
+    executes in that dtype.  The default (``None``) is the unchanged live
+    -reference float32 path.
     """
 
     is_weight_stage = True
@@ -88,10 +113,14 @@ class LinearKernel(Kernel):
         bias: Optional[np.ndarray],
         density_threshold: float = 0.25,
         gather_batch_limit: int = 4,
+        compute_dtype=None,
     ) -> None:
         super().__init__(name)
-        self.weight = weight  # (out_features, in_features), live reference
-        self.bias = bias  # (out_features,) or None
+        self.source_weight = weight  # (out_features, in_features), live reference
+        self.source_bias = bias  # (out_features,) or None
+        self.weight = weight  # array actually contracted (refreshed in prepare)
+        self.bias = bias
+        self.compute_dtype = None if compute_dtype is None else np.dtype(compute_dtype)
         self.density_threshold = float(density_threshold)
         self.gather_batch_limit = int(gather_batch_limit)
         self._weight_t: Optional[np.ndarray] = None  # row-gatherable (I, O) copy
@@ -112,8 +141,16 @@ class LinearKernel(Kernel):
 
     def prepare(self) -> None:
         self._weight_t = None
+        if self.compute_dtype is None:
+            self.weight = self.source_weight
+            self.bias = self.source_bias
+        else:
+            self.weight = self.source_weight.astype(self.compute_dtype)
+            self.bias = None if self.source_bias is None else self.source_bias.astype(self.compute_dtype)
 
     def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.compute_dtype is not None and frame.dtype != self.compute_dtype:
+            frame = frame.astype(self.compute_dtype)
         if frame.ndim != 2:
             frame = frame.reshape(frame.shape[0], -1)
         n = frame.shape[0]
@@ -166,10 +203,14 @@ class ConvKernel(Kernel):
         stride: int = 1,
         padding: int = 0,
         row_sparsity_threshold: float = 0.5,
+        compute_dtype=None,
     ) -> None:
         super().__init__(name)
-        self.weight = weight  # (C_out, C_in, KH, KW), live reference
-        self.bias = bias  # (C_out,) or None
+        self.source_weight = weight  # (C_out, C_in, KH, KW), live reference
+        self.source_bias = bias  # (C_out,) or None
+        self.weight = weight  # array actually contracted (refreshed in prepare)
+        self.bias = bias
+        self.compute_dtype = None if compute_dtype is None else np.dtype(compute_dtype)
         self.stride = int(stride)
         self.padding = int(padding)
         # Use the gather path only when at least this fraction of output
@@ -181,6 +222,14 @@ class ConvKernel(Kernel):
         self._cols: Optional[np.ndarray] = None
         self._bool_windows: Optional[np.ndarray] = None
         self._out_shape: Optional[Tuple[int, ...]] = None
+
+    def prepare(self) -> None:
+        if self.compute_dtype is None:
+            self.weight = self.source_weight
+            self.bias = self.source_bias
+        else:
+            self.weight = self.source_weight.astype(self.compute_dtype)
+            self.bias = None if self.source_bias is None else self.source_bias.astype(self.compute_dtype)
 
     def reset(self) -> None:
         self._in_key = None
@@ -223,6 +272,8 @@ class ConvKernel(Kernel):
         return out
 
     def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.compute_dtype is not None and frame.dtype != self.compute_dtype:
+            frame = frame.astype(self.compute_dtype)
         if frame.ndim != 4:
             raise ValueError(f"ConvKernel expects NCHW input, got shape {frame.shape}")
         self._ensure_buffers(frame)
@@ -358,3 +409,191 @@ class FlattenKernel(Kernel):
 
     def run(self, frame: np.ndarray) -> np.ndarray:
         return frame.reshape(frame.shape[0], -1)
+
+
+def _requantize_weight_kernel(kernel, reduce_axes: Tuple[int, ...]) -> None:
+    """Refresh a quantized weight kernel's integer arrays from its live source.
+
+    Re-quantizes only when the source parameters actually changed since the
+    last call (byte-equality against a snapshot): quantization involves a
+    percentile scan, which would otherwise dominate small serving batches,
+    while the equality check is one cheap linear pass.  This preserves the
+    live-tracking contract — ``load_state_dict`` between runs changes the
+    source arrays and triggers re-quantization on the next prepare.
+
+    Derived state set on ``kernel``: ``weight_int`` (authoritative int8/int16
+    lattice), ``weight_scale``, ``output_scale`` (= weight scale x input
+    scale — the physical value of one output unit), ``bias_int`` (bias
+    rounded onto the output grid), ``acc_bound`` (worst-case accumulator
+    magnitude, any summation order), and the float *carrier* arrays
+    ``weight`` / ``bias`` in the narrowest dtype that keeps every
+    accumulation exact (float32 below 2**24, float64 otherwise).
+    """
+    src = kernel.source_weight
+    src_bias = kernel.source_bias
+    if (
+        kernel._quant_weight_snapshot is not None
+        and np.array_equal(src, kernel._quant_weight_snapshot)
+        and (
+            (src_bias is None and kernel._quant_bias_snapshot is None)
+            or (
+                src_bias is not None
+                and kernel._quant_bias_snapshot is not None
+                and np.array_equal(src_bias, kernel._quant_bias_snapshot)
+            )
+        )
+    ):
+        return
+    quantized, scale = quantize_array_int(src, kernel.quantization)
+    kernel.weight_int = quantized
+    kernel.weight_scale = float(scale)
+    kernel.output_scale = float(scale) * kernel.input_scale
+    abs_rows = np.abs(quantized).astype(np.float64).sum(axis=reduce_axes)
+    acc_bound = float(abs_rows.max()) * kernel.input_int_max if abs_rows.size else 0.0
+    if src_bias is not None:
+        bias_int = np.rint(src_bias.astype(np.float64) / kernel.output_scale)
+        acc_bound += float(np.abs(bias_int).max()) if bias_int.size else 0.0
+    else:
+        bias_int = None
+    kernel.bias_int = bias_int
+    kernel.acc_bound = acc_bound
+    carrier = np.dtype(np.float32) if acc_bound < _FLOAT32_EXACT else np.dtype(np.float64)
+    kernel.compute_dtype = carrier  # base run() casts incoming frames to this
+    kernel.weight = quantized.astype(carrier)
+    kernel.bias = None if bias_int is None else bias_int.astype(carrier)
+    kernel._quant_weight_snapshot = src.copy()
+    kernel._quant_bias_snapshot = None if src_bias is None else src_bias.copy()
+
+
+class QuantizedLinearKernel(LinearKernel):
+    """Integer affine transform ``y_int = x_int Q^T + b_int``.
+
+    ``Q`` is the weight's int8/int16 lattice from
+    :func:`repro.hardware.quantization.quantize_array_int`; inputs arrive as
+    integers scaled by ``input_scale`` (1.0 for binary spikes) with magnitude
+    at most ``input_int_max``.  Outputs are integers worth ``output_scale``
+    each.  The integers are carried in a float array sized by the prepare
+    -time accumulator bound so the contraction is both BLAS-fast and exact
+    (see the module docstring); all three of the parent's sparse fast paths
+    apply unchanged.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        quantization: QuantizationConfig,
+        input_scale: float = 1.0,
+        input_int_max: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, weight, bias, **kwargs)
+        self.quantization = quantization
+        self.input_scale = float(input_scale)
+        self.input_int_max = float(input_int_max)
+        self.weight_int: Optional[np.ndarray] = None
+        self.weight_scale = 0.0
+        self.output_scale = 1.0
+        self.bias_int: Optional[np.ndarray] = None
+        self.acc_bound = 0.0
+        self._quant_weight_snapshot: Optional[np.ndarray] = None
+        self._quant_bias_snapshot: Optional[np.ndarray] = None
+
+    def prepare(self) -> None:
+        self._weight_t = None
+        _requantize_weight_kernel(self, reduce_axes=(1,))
+
+
+class QuantizedConvKernel(ConvKernel):
+    """Integer 2-D cross-correlation; conv analogue of
+    :class:`QuantizedLinearKernel` (same lattice, scales, carrier selection
+    and exactness argument, reduced over the full receptive field)."""
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        quantization: QuantizationConfig,
+        stride: int = 1,
+        padding: int = 0,
+        input_scale: float = 1.0,
+        input_int_max: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(name, weight, bias, stride=stride, padding=padding, **kwargs)
+        self.quantization = quantization
+        self.input_scale = float(input_scale)
+        self.input_int_max = float(input_int_max)
+        self.weight_int: Optional[np.ndarray] = None
+        self.weight_scale = 0.0
+        self.output_scale = 1.0
+        self.bias_int: Optional[np.ndarray] = None
+        self.acc_bound = 0.0
+        self._quant_weight_snapshot: Optional[np.ndarray] = None
+        self._quant_bias_snapshot: Optional[np.ndarray] = None
+
+    def prepare(self) -> None:
+        _requantize_weight_kernel(self, reduce_axes=(1, 2, 3))
+
+
+class QuantizedLIFKernel(FusedLIFKernel):
+    """LIF step executed entirely on the integer grid of its synaptic input.
+
+    The threshold is rounded onto the grid of the upstream weight kernel's
+    realized ``output_scale`` — ``theta_int = max(1, rint(theta / scale))``,
+    clamping thresholds below half a quantization step to one step — and the
+    leak is applied as an integer decay ``mem <- rint(beta * mem) + I_int``,
+    so the membrane is an exact integer at every step.  Spike generation and
+    reset then mirror the float kernel with ``theta_int`` in place of
+    ``theta``.  Because the upstream scale is only known once live weights
+    are quantized, ``theta_int`` is derived in :meth:`prepare` (the engine
+    prepares kernels in execution order, so the upstream kernel has already
+    refreshed).  Output spikes are binary float32, which resets the
+    activation scale to 1.0 for the next weight stage — the single dequant
+    point of the whole plan is therefore the network output boundary.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        beta: float,
+        threshold: float,
+        reset_mechanism: str = "subtract",
+        upstream: Optional[Kernel] = None,
+        fallback_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, beta, threshold, reset_mechanism)
+        self.upstream = upstream
+        self.fallback_scale = float(fallback_scale)
+        self.theta_int = 1.0
+        self.realized_input_scale = float(fallback_scale)
+        self.mem_dtype = np.dtype(np.float64)
+
+    def prepare(self) -> None:
+        in_scale = self.upstream.output_scale if self.upstream is not None else self.fallback_scale
+        self.realized_input_scale = float(in_scale)
+        self.theta_int = max(1.0, float(np.rint(self.threshold / in_scale)))
+        charge_bound = self.upstream.acc_bound if self.upstream is not None else _FLOAT32_EXACT
+        if self.beta < 1.0:
+            # Fixed point of |mem| <= beta * |mem| + charge (+ theta slack
+            # around the reset) — conservative for every reset mechanism.
+            mem_bound = (charge_bound + self.theta_int) / (1.0 - self.beta)
+        else:
+            mem_bound = float("inf")
+        self.mem_dtype = np.dtype(np.float32) if mem_bound < _FLOAT32_EXACT else np.dtype(np.float64)
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.mem is None or self.mem.shape != frame.shape or self.mem.dtype != self.mem_dtype:
+            self.mem = np.zeros(frame.shape, dtype=self.mem_dtype)
+        mem = self.mem
+        mem *= self.beta
+        np.rint(mem, out=mem)
+        mem += frame
+        spikes = mem > self.theta_int
+        if self.reset_mechanism == "subtract":
+            np.subtract(mem, self.theta_int, out=mem, where=spikes)
+        elif self.reset_mechanism == "zero":
+            mem[spikes] = 0.0
+        return spikes.astype(np.float32)

@@ -27,7 +27,7 @@ from typing import Dict, Iterator, List
 import numpy as np
 
 from repro.nn.module import Module
-from repro.runtime.engine import CompiledNetwork, compile_network
+from repro.runtime.engine import CompiledNetwork, compile_network, resolve_quantization
 
 
 class CompiledNetworkPool:
@@ -43,6 +43,11 @@ class CompiledNetworkPool:
         How many idle plans are retained for reuse.  Checkouts beyond this
         still succeed (a fresh plan is compiled); the surplus plan is simply
         dropped on release.  Size this to the serving worker count.
+    precision, quantization, input_scale:
+        Execution precision for every pooled plan, forwarded verbatim to
+        :func:`~repro.runtime.engine.compile_network` — a pool serves one
+        precision for its whole lifetime (the serving gateway replaces the
+        pool when a model's quantization spec changes).
 
     Attributes
     ----------
@@ -51,16 +56,33 @@ class CompiledNetworkPool:
         a correctly sized pool compiles at most ``workers`` plans ever.
     """
 
-    def __init__(self, model: Module, max_idle: int = 4) -> None:
+    def __init__(
+        self,
+        model: Module,
+        max_idle: int = 4,
+        precision: str = "fp32",
+        quantization=None,
+        input_scale: float = 1.0,
+    ) -> None:
         if max_idle < 1:
             raise ValueError(f"max_idle must be at least 1, got {max_idle}")
         self.model = model
         self.max_idle = int(max_idle)
+        # Resolve eagerly so a bad precision/quantization pairing fails at
+        # pool construction, not on the first checkout.
+        self.quantization = resolve_quantization(precision, quantization)
+        self.precision = precision
+        self.input_scale = float(input_scale)
         self.compiled_count = 0
         self._idle: List[CompiledNetwork] = []
         self._cv = threading.Condition()
         self._checked_out = 0
         self._updating = False
+
+    @property
+    def weight_bits(self):
+        """Weight precision in bits for quantized pools, ``None`` otherwise."""
+        return self.quantization.weight_bits if self.quantization is not None else None
 
     @property
     def idle_count(self) -> int:
@@ -89,7 +111,12 @@ class CompiledNetworkPool:
             plan = self._idle.pop() if self._idle else None
             self._checked_out += 1
         if plan is None:
-            plan = compile_network(self.model)
+            plan = compile_network(
+                self.model,
+                precision=self.precision,
+                quantization=self.quantization,
+                input_scale=self.input_scale,
+            )
             with self._cv:
                 self.compiled_count += 1
         try:

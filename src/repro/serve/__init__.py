@@ -11,6 +11,12 @@ This package is that deployment surface:
   :class:`~repro.runtime.pool.CompiledNetworkPool` of reusable plans per
   model.  :func:`~repro.serve.registry.train_and_register` bridges straight
   from an :class:`~repro.core.config.ExperimentConfig` to a servable entry.
+  :meth:`~repro.serve.registry.ModelRegistry.save_quantized` publishes a
+  model at int8/int16 weight precision behind an accuracy-delta gate
+  (budgeted top-1 drop vs the float64 reference, rolled back on failure);
+  the published spec makes every downstream pool compile quantized plans,
+  and :class:`~repro.serve.telemetry.ServeTelemetry` reports the active
+  precision alongside its latency numbers.
 * :class:`~repro.serve.scheduler.InferenceServer` accepts single raw
   images, runs the model's encoder per request, coalesces concurrent
   requests into micro-batches (``max_batch`` / ``max_wait_ms``), dispatches
@@ -65,6 +71,7 @@ from repro.serve.registry import (
     ModelRegistry,
     RegisteredModel,
     RegistryError,
+    quantization_pool_kwargs,
     train_and_register,
 )
 from repro.serve.scheduler import (
@@ -93,6 +100,7 @@ __all__ = [
     "ModelRegistry",
     "RegisteredModel",
     "RegistryError",
+    "quantization_pool_kwargs",
     "train_and_register",
     "InferenceServer",
     "ServeGateway",

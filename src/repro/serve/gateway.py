@@ -19,6 +19,11 @@ front-end over a :class:`~repro.serve.registry.ModelRegistry`:
   from the new checkpoint.  A republish that changes the *architecture*
   (or any non-weight hyperparameter, e.g. ``beta``) cannot be patched in
   place; the gateway then drains the old server and stands up a fresh one.
+  The same applies to a republish changing the model's *quantization spec*
+  (float to int8, int8 to int16, ...): the pool compiles plans at the
+  published precision, so a precision change drains and replaces, while a
+  weight-only republish of a quantized model still swaps in place (the
+  integer kernels re-quantize from the new weights on their next batch).
   A republished checkpoint that is torn or fails its content checksum
   does **not** interrupt serving: the old weights stay live, the failure
   is counted (``reload_failures``) with its cause in the model's
@@ -63,7 +68,12 @@ from repro.runtime.pool import CompiledNetworkPool
 from repro.serve.autoscaler import AutoscalePolicy, ModelAutoscaler
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker, ModelUnavailable
 from repro.serve.faults import FaultInjector
-from repro.serve.registry import ModelRegistry, RegisteredModel, RegistryError
+from repro.serve.registry import (
+    ModelRegistry,
+    RegisteredModel,
+    RegistryError,
+    quantization_pool_kwargs,
+)
 from repro.serve.scheduler import (
     OVERLOAD_SHED,
     InferenceServer,
@@ -364,8 +374,13 @@ class ServeGateway:
         # servers start at the policy baseline, not the gateway defaults.
         workers = self.autoscale.min_workers if self.autoscale else self.workers
         max_batch = self.autoscale.min_batch if self.autoscale else self.max_batch
-        pool = CompiledNetworkPool(entry.model, max_idle=workers)
+        # A model published with a quantization spec serves integer plans:
+        # the pool compiles every plan at the published precision.
+        pool = CompiledNetworkPool(
+            entry.model, max_idle=workers, **quantization_pool_kwargs(entry.quantization)
+        )
         telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        telemetry.set_precision(pool.precision, pool.weight_bits)
         # Each server gets a FRESH breaker sharing the model's telemetry:
         # failure history must not leak across an architecture-replacing
         # reload (the new network deserves a closed breaker), while the
@@ -505,15 +520,31 @@ class ServeGateway:
             # through the current one (requests must still be encodable).
             encoder = new_encoder if new_encoder is not None else active.server.encoder
             pool = active.server.pool
+            try:
+                new_quant = quantization_pool_kwargs(
+                    (meta or {}).get("quantization") if isinstance(meta, dict) else None
+                )
+            except RegistryError as exc:
+                # A republish with a malformed quantization spec degrades
+                # exactly like a torn checkpoint: old plans keep serving.
+                active.signature = signature
+                active.reload_failures += 1
+                active.server.telemetry.record_reload_failure(
+                    f"{type(exc).__name__}: {exc}"
+                )
+                return
+            old_quant = quantization_pool_kwargs(active.entry.quantization)
             # In-place requires the compiled kernels to stay valid (same
-            # model spec) AND the timestep count to stay put: requests
-            # already encoded with the old num_steps share queues/batches
-            # with new ones, and (T, 1, ...) trains of different T cannot
-            # be coalesced.
+            # model spec, same execution precision — quantized kernels
+            # re-quantize new weights on their next prepare, but a changed
+            # precision/scale spec needs a differently-compiled pool) AND
+            # the timestep count to stay put: requests already encoded with
+            # the old num_steps share queues/batches with new ones, and
+            # (T, 1, ...) trains of different T cannot be coalesced.
             same_steps = getattr(encoder, "num_steps", None) == getattr(
                 active.server.encoder, "num_steps", None
             )
-            if same_steps and model_spec(new_model) == model_spec(pool.model):
+            if same_steps and new_quant == old_quant and model_spec(new_model) == model_spec(pool.model):
                 # Weight-only republish: swap in place between batches.
                 # Queued requests are served with the new weights; nothing
                 # is dropped (pool.update_weights quiesces in-flight

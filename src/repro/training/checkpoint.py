@@ -210,6 +210,7 @@ def save_checkpoint(
     model: Module,
     encoder: Optional[Encoder] = None,
     metadata: Optional[Dict[str, Any]] = None,
+    quantization: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write a single-file checkpoint (atomic rename, ``.npz`` archive).
 
@@ -224,6 +225,13 @@ def save_checkpoint(
         Optional input encoder saved alongside the weights.
     metadata:
         Optional JSON-serialisable caller payload (config, metrics, ...).
+    quantization:
+        Optional quantization spec (plain JSON dict — ``precision``,
+        ``weight_bits``, ``clip_percentile``, ``input_scale``, ...)
+        describing the precision the stored weights should be *served* at.
+        The field is additive: checkpoints written without it (including
+        every pre-existing format-2 file) read back unchanged, with
+        :func:`read_checkpoint_quantization` returning ``None``.
     """
     state = model.state_dict()
     header = {
@@ -232,6 +240,7 @@ def save_checkpoint(
         "model": model_spec(model),
         "encoder": encoder_spec(encoder) if encoder is not None else None,
         "metadata": metadata or {},
+        "quantization": quantization,
         "checksum": state_checksum(state),
     }
     try:
@@ -266,6 +275,28 @@ def read_checkpoint_metadata(path: PathLike) -> Dict[str, Any]:
     except Exception as exc:
         raise CheckpointIntegrityError(f"cannot read checkpoint {path}: {exc}") from exc
     return header.get("metadata", {})
+
+
+def read_checkpoint_quantization(path: PathLike) -> Optional[Dict[str, Any]]:
+    """Read just the quantization spec from a checkpoint header (or ``None``).
+
+    Header-only, like :func:`read_checkpoint_metadata` — the parameter
+    arrays are never decoded.  Returns ``None`` for checkpoints published
+    without a spec (full-precision serving), including all pre-quantization
+    format-2 checkpoints.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _HEADER_KEY not in archive.files:
+                raise CheckpointError(f"{path} is not a repro checkpoint (missing header)")
+            header = json.loads(str(archive[_HEADER_KEY][()]))
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointIntegrityError(f"cannot read checkpoint {path}: {exc}") from exc
+    spec = header.get("quantization")
+    return dict(spec) if isinstance(spec, dict) else None
 
 
 def load_checkpoint(path: PathLike) -> Tuple[Module, Optional[Encoder], Dict[str, Any]]:

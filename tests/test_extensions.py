@@ -9,6 +9,7 @@ from repro.hardware.quantization import (
     QuantizationConfig,
     QuantizationReport,
     quantize_array,
+    quantize_array_int,
     quantize_model,
 )
 from repro.neurons import AdaptiveLIF, LIF
@@ -132,3 +133,59 @@ class TestQuantization:
             return np.abs(model(spikes).numpy() - base).sum()
 
         assert divergence(2) >= divergence(8)
+
+    def test_sparse_tensor_not_zeroed_by_percentile_clip(self):
+        # Regression: with clip_percentile=99 a >=99%-sparse tensor used to
+        # produce a 0.0 percentile, a 0.0 scale, and a fully zeroed output —
+        # the nonzero weights (the only information in the tensor) vanished.
+        values = np.zeros(1000, dtype=np.float32)
+        values[:5] = np.array([0.5, -0.25, 0.125, 0.75, -0.5], dtype=np.float32)
+        config = QuantizationConfig(weight_bits=8, clip_percentile=99.0)
+        quantized, scale = quantize_array(values, config)
+        assert scale > 0.0
+        assert np.abs(quantized[:5]).max() > 0.0
+        # Max-abs fallback: error still bounded by half a step.
+        assert np.abs(quantized - values).max() <= scale / 2 + 1e-7
+
+    def test_quantize_array_int_sparse_and_zero_edge_cases(self):
+        config = QuantizationConfig(weight_bits=8, clip_percentile=99.0)
+        sparse = np.zeros(500, dtype=np.float32)
+        sparse[0] = 1.27
+        ints, scale = quantize_array_int(sparse, config)
+        assert ints.dtype == np.int8
+        assert scale > 0.0
+        assert ints[0] == 127 and not ints[1:].any()
+        # All-zero input: integer codes are all zero but the scale must stay
+        # usable as a divisor (1.0, never 0.0).
+        zero_ints, zero_scale = quantize_array_int(np.zeros(10, dtype=np.float32), config)
+        assert zero_scale == 1.0
+        assert not zero_ints.any()
+
+    def test_quantize_array_int_matches_fake_quantized_lattice(self):
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(512).astype(np.float32)
+        config = QuantizationConfig(weight_bits=8)
+        fake, fake_scale = quantize_array(values, config)
+        ints, scale = quantize_array_int(values, config)
+        assert scale == fake_scale
+        assert np.allclose(ints.astype(np.float64) * scale, fake, atol=1e-7)
+        assert np.abs(ints).max() <= config.levels
+
+    def test_quantize_model_restore_round_trips(self):
+        model = SpikingMLP(in_features=16, hidden_units=32, num_classes=4, seed=0)
+        original = {name: p.data.copy() for name, p in model.named_parameters()}
+        report = quantize_model(model, QuantizationConfig(weight_bits=4))
+        mutated = any(
+            not np.array_equal(p.data, original[name]) for name, p in model.named_parameters()
+        )
+        assert mutated, "4-bit quantization should change at least one weight"
+        report.restore(model)
+        for name, param in model.named_parameters():
+            assert np.array_equal(param.data, original[name])
+
+    def test_restore_rejects_mismatched_model(self):
+        model = SpikingMLP(in_features=16, hidden_units=32, num_classes=4, seed=0)
+        report = quantize_model(model, QuantizationConfig(weight_bits=8))
+        other = SpikingMLP(in_features=8, hidden_units=4, num_classes=2, seed=1)
+        with pytest.raises(ValueError):
+            report.restore(other)
