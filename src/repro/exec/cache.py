@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs.metrics import default_registry
 from repro.utils import atomic_write
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -232,6 +233,20 @@ class ExperimentCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # Per-instance attribute counters above stay the benchmark/test API;
+        # the process-wide registry instruments below aggregate across every
+        # cache instance for /metrics scrapes.
+        registry = default_registry()
+        self._m_hits = registry.counter(
+            "repro_exec_cache_hits_total", "Experiment-cache lookups served from disk."
+        )
+        self._m_misses = registry.counter(
+            "repro_exec_cache_misses_total",
+            "Experiment-cache lookups that missed (absent or unreadable entry).",
+        )
+        self._m_stores = registry.counter(
+            "repro_exec_cache_stores_total", "Experiment records persisted to the cache."
+        )
 
     # ------------------------------------------------------------------ #
     def key(self, config: "ExperimentConfig", accelerator: Any = None, use_runtime: bool = True) -> str:
@@ -256,18 +271,21 @@ class ExperimentCache:
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
+            self._m_misses.inc()
             return None
         try:
             with open(path, "rb") as fh:
                 record = pickle.load(fh)
         except Exception:
             self.misses += 1
+            self._m_misses.inc()
             return None
         # Touch the entry so the size-budget sweep evicts least-recently
         # *used* records, not merely least-recently written ones.
         with contextlib.suppress(OSError):
             os.utime(path)
         self.hits += 1
+        self._m_hits.inc()
         return record
 
     def store(
@@ -291,6 +309,7 @@ class ExperimentCache:
             key_payload_json(record.config, accelerator=accelerator, use_runtime=use_runtime).encode("utf-8"),
         )
         self.stores += 1
+        self._m_stores.inc()
         return path
 
     # ------------------------------------------------------------------ #

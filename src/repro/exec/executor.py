@@ -54,6 +54,8 @@ import numpy as np
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import ExperimentRecord, run_experiment
 from repro.exec.cache import ExperimentCache, experiment_cache_key
+from repro.obs.metrics import default_registry
+from repro.obs.trace import default_tracer
 
 ProgressCallback = Callable[["ProgressEvent"], None]
 CacheSpec = Union[None, bool, str, "os.PathLike[str]", ExperimentCache]
@@ -76,6 +78,10 @@ class ProgressEvent:
         Wall-clock seconds the cell took (0 for ``start``/``cached``).
     error:
         Stringified exception for ``kind == "error"``.
+    timestamp:
+        Wall-clock ``time.time()`` at which the event was emitted (0.0 when
+        an event is constructed by hand without one), so progress streams
+        can be correlated with traces and structured logs.
     """
 
     kind: str
@@ -84,6 +90,7 @@ class ProgressEvent:
     label: str
     seconds: float = 0.0
     error: str = ""
+    timestamp: float = 0.0
 
 
 def _print_progress(event: ProgressEvent) -> None:
@@ -330,6 +337,25 @@ def run_experiments(
     total = len(configs)
     store = resolve_cache(cache)
     reporter = progress if progress is not None else (_print_progress if verbose else None)
+    registry = default_registry()
+    m_cells = registry.counter(
+        "repro_exec_cells_total", "Sweep cells submitted to run_experiments."
+    )
+    m_cached = registry.counter(
+        "repro_exec_cached_cells_total", "Sweep cells satisfied from the experiment cache."
+    )
+    m_done = registry.counter(
+        "repro_exec_completed_cells_total", "Sweep cells that trained to completion."
+    )
+    m_failed = registry.counter(
+        "repro_exec_failed_cells_total", "Sweep cells that exhausted their retries."
+    )
+    m_cells.inc(total)
+    tracer = default_tracer()
+    sweep_trace = tracer.mint_trace()
+    sweep_span = (
+        tracer.begin("exec.sweep", sweep_trace, total=total) if sweep_trace else None
+    )
 
     def emit(kind: str, index: int, seconds: float = 0.0, error: str = "") -> None:
         if reporter is not None:
@@ -341,6 +367,7 @@ def run_experiments(
                     label=configs[index].describe(),
                     seconds=seconds,
                     error=error,
+                    timestamp=time.time(),
                 )
             )
 
@@ -358,14 +385,33 @@ def run_experiments(
                 if record.config != config:
                     record.config = config
                 results[i] = record
+                m_cached.inc()
                 emit("cached", i)
                 continue
         pending.append(i)
+
+    def record_cell_span(index: int, seconds: float, status: str) -> None:
+        """Record one ``exec.cell`` span under the sweep root (no-op untraced)."""
+        if sweep_span is None:
+            return
+        now = time.perf_counter()
+        tracer.record(
+            "exec.cell",
+            sweep_trace,
+            sweep_span.span_id,
+            now - seconds,
+            now,
+            index=index,
+            label=configs[index].describe(),
+            status=status,
+        )
 
     def finish(index: int, record: ExperimentRecord, seconds: float) -> None:
         results[index] = record
         if store is not None:
             store.store(keys[index], record, accelerator=accelerator, use_runtime=use_runtime)
+        m_done.inc()
+        record_cell_span(index, seconds, "done")
         emit("done", index, seconds=seconds)
 
     def settle(index: int, outcome, seconds: float) -> None:
@@ -374,6 +420,8 @@ def run_experiments(
             # The event and the raised error both carry the worker's full
             # stack as text — the original exception object never crosses
             # the process boundary (see _CellFailure).
+            m_failed.inc()
+            record_cell_span(index, seconds, "error")
             emit("error", index, seconds=seconds, error=outcome.traceback)
             if on_error == ON_ERROR_RAISE:
                 raise CellExecutionError(configs[index].describe(), outcome.traceback)
@@ -386,31 +434,35 @@ def run_experiments(
             return
         finish(index, outcome, seconds)
 
-    if pending:
-        payloads = [
-            (i, configs[i], accelerator, use_runtime, verbose, int(retries), float(retry_backoff_s))
-            for i in pending
-        ]
-        nworkers = min(resolve_workers(workers), len(pending))
-        if nworkers > 1:
-            method = resolve_start_method(start_method)
-            for i in pending:
-                emit("start", i)
-            ctx = multiprocessing.get_context(method)
-            with ctx.Pool(processes=nworkers) as pool:
-                for index, outcome, seconds in pool.imap_unordered(_run_cell, payloads):
-                    settle(index, outcome, seconds)
-        else:
-            # _run_cell reseeds the global RNG per cell (the serial==parallel
-            # bit-identity guarantee); running in the caller's process, that
-            # must not clobber the caller's own np.random stream.
-            rng_state = np.random.get_state()
-            try:
-                for payload in payloads:
-                    emit("start", payload[0])
-                    settle(*_run_cell(payload))
-            finally:
-                np.random.set_state(rng_state)
+    try:
+        if pending:
+            payloads = [
+                (i, configs[i], accelerator, use_runtime, verbose, int(retries), float(retry_backoff_s))
+                for i in pending
+            ]
+            nworkers = min(resolve_workers(workers), len(pending))
+            if nworkers > 1:
+                method = resolve_start_method(start_method)
+                for i in pending:
+                    emit("start", i)
+                ctx = multiprocessing.get_context(method)
+                with ctx.Pool(processes=nworkers) as pool:
+                    for index, outcome, seconds in pool.imap_unordered(_run_cell, payloads):
+                        settle(index, outcome, seconds)
+            else:
+                # _run_cell reseeds the global RNG per cell (the serial==parallel
+                # bit-identity guarantee); running in the caller's process, that
+                # must not clobber the caller's own np.random stream.
+                rng_state = np.random.get_state()
+                try:
+                    for payload in payloads:
+                        emit("start", payload[0])
+                        settle(*_run_cell(payload))
+                finally:
+                    np.random.set_state(rng_state)
+    finally:
+        if sweep_span is not None:
+            sweep_span.end(pending=len(pending), cached=total - len(pending))
 
     # Every cell either came from the cache, completed above, or (under
     # "collect") holds its FailedCell, so the list is fully populated.

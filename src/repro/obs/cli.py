@@ -1,0 +1,120 @@
+"""Command-line surface for the observability layer: ``python -m repro.obs``.
+
+Two subcommands:
+
+* ``dump`` — print the default registry's metrics (Prometheus text by
+  default, ``--format json`` for the snapshot) and, with ``--trace``, the
+  default tracer's spans as a Chrome ``trace_event`` document.
+* ``serve`` — stand up a stdlib :mod:`http.server` endpoint exposing
+  ``GET /metrics`` (Prometheus text exposition) and ``GET /healthz``
+  (liveness, always ``ok``) for the current process's default registry.
+
+The HTTP pieces are plain stdlib so the endpoint works in any environment
+the repo runs in; :func:`make_server` returns an unstarted
+``ThreadingHTTPServer`` so tests (and embedding applications) can run the
+endpoint on an ephemeral port inside the process under scrape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import Tracer, default_tracer
+
+__all__ = ["make_server", "main"]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` and ``/healthz`` for the registry on the server object."""
+
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Answer a scrape: Prometheus text on /metrics, liveness on /healthz."""
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.server.registry.expose_text().encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/healthz":
+            self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+        else:
+            self._reply(404, b"not found\n", "text/plain; charset=utf-8")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 (http.server API)
+        """Silence per-request stderr chatter (scrapes happen continuously)."""
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> ThreadingHTTPServer:
+    """Build an unstarted metrics HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``).  Call ``serve_forever()`` — typically on a
+    daemon thread — to start answering, and ``shutdown()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), _MetricsHandler)
+    server.daemon_threads = True
+    server.registry = registry if registry is not None else default_registry()
+    return server
+
+
+def _cmd_dump(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) -> int:
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(registry.expose_text())
+    if args.trace:
+        print(json.dumps(tracer.export_chrome(), indent=2))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) -> int:
+    server = make_server(args.host, args.port, registry=registry)
+    host, port = server.server_address[:2]
+    print(f"serving metrics on http://{host}:{port}/metrics (healthz: /healthz)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Dump or serve this process's observability state.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser("dump", help="print metrics (and optionally traces) to stdout")
+    dump.add_argument("--format", choices=("text", "json"), default="text", help="metrics output format")
+    dump.add_argument("--trace", action="store_true", help="also print the Chrome trace_event document")
+
+    serve = sub.add_parser("serve", help="expose /metrics and /healthz over HTTP")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9464, help="bind port (default 9464, 0 = ephemeral)")
+
+    args = parser.parse_args(argv)
+    registry = default_registry()
+    tracer = default_tracer()
+    if args.command == "dump":
+        return _cmd_dump(args, registry, tracer)
+    return _cmd_serve(args, registry, tracer)

@@ -1,0 +1,386 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+Every instrument is a plain thread-safe object that can be created
+standalone, but the normal route is through a :class:`MetricsRegistry`,
+which get-or-creates instruments keyed by ``(name, labels)`` and renders
+them in two exposition formats:
+
+* :meth:`MetricsRegistry.expose_text` — Prometheus-style text, the format
+  ``python -m repro.obs serve`` serves at ``/metrics``;
+* :meth:`MetricsRegistry.snapshot` — a nested JSON-friendly dict for
+  programmatic scraping and the ``dump`` CLI.
+
+Hot-path cost is the design constraint: a :class:`Histogram` observation is
+one bisect over a pre-built bound tuple plus an integer increment into a
+pre-allocated count list — no per-observation allocation — and counters and
+gauges are a single float update under a lock.  The serving layer's
+:class:`~repro.serve.telemetry.ServeTelemetry` is a thin view over these
+instruments; sweep execution and the experiment cache register process-wide
+counters in :func:`default_registry`.
+
+Registries compose: a per-model registry (labelled ``model="name"``) can be
+:meth:`~MetricsRegistry.attach`-ed to the process-wide one, which then
+includes the child's instruments in its expositions.  Attachments hold weak
+references, so a retired server's metrics disappear with its telemetry
+instead of leaking forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "LATENCY_BUCKETS_MS",
+    "BATCH_SIZE_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+#: Default histogram bounds for request/queue latencies in milliseconds.
+LATENCY_BUCKETS_MS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+#: Default histogram bounds for micro-batch sizes.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Default histogram bounds for coarse durations in seconds (sweep cells).
+SECONDS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    """Normalise a labels mapping into a sorted, hashable tuple of pairs."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(pairs: LabelPairs) -> str:
+    """Render label pairs in Prometheus ``{k="v"}`` syntax (empty when none)."""
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing value (requests served, cells trained, ...)."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> None:
+        self.name = str(name)
+        self.help = str(help)
+        self.labels = _label_pairs(labels)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current accumulated total."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}{_render_labels(self.labels)}={self.value})"
+
+
+class Gauge:
+    """Point-in-time value that can move both ways (queue depth, state codes)."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> None:
+        self.name = str(name)
+        self.help = str(help)
+        self.labels = _label_pairs(labels)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-water marks)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}{_render_labels(self.labels)}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with zero per-observation allocation.
+
+    ``buckets`` are the finite upper bounds, in increasing order; an
+    implicit ``+Inf`` bucket catches the tail.  :meth:`observe` performs one
+    bisect over the pre-built bound tuple and an integer increment into the
+    pre-allocated per-bucket count list — nothing is allocated on the hot
+    path, which is what lets the serving scheduler observe every request.
+    """
+
+    __slots__ = ("name", "help", "labels", "_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        self.name = str(name)
+        self.help = str(help)
+        self.labels = _label_pairs(labels)
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +Inf tail bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the bucket counts."""
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        """The finite bucket upper bounds (the ``+Inf`` tail is implicit)."""
+        return self._bounds
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket observation counts (last entry is the ``+Inf`` tail)."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per bound plus the ``+Inf`` total (Prometheus ``le``)."""
+        with self._lock:
+            out: List[int] = []
+            running = 0
+            for count in self._counts:
+                running += count
+                out.append(running)
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}{_render_labels(self.labels)}, n={self.count})"
+
+
+Instrument = Any  # Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments with text and JSON exposition.
+
+    Parameters
+    ----------
+    labels:
+        Constant labels stamped on every exposition row from this registry
+        (e.g. ``{"model": "digits-v2"}`` for a per-model telemetry
+        registry).  Instrument-level labels are merged on top.
+
+    Instruments are keyed by ``(name, labels)``: asking twice for the same
+    key returns the same object, asking for an existing name with a
+    different instrument *type* raises.  :meth:`attach` links a child
+    registry (weakly) so one process-wide registry can expose every
+    per-model telemetry without owning its lifetime.
+    """
+
+    def __init__(self, labels: Optional[Mapping[str, str]] = None) -> None:
+        self.labels = _label_pairs(labels)
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelPairs], Instrument] = {}
+        self._children: Dict[str, "weakref.ReferenceType[MetricsRegistry]"] = {}
+
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, cls, name: str, help: str, labels, **kwargs) -> Instrument:
+        key = (str(name), _label_pairs(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {type(existing).__name__}, "
+                        f"not {cls.__name__}"
+                    )
+                return existing
+            instrument = cls(name, help=help, labels=dict(key[1]), **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> Counter:
+        """Get or create the :class:`Counter` named ``name`` with ``labels``."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        """Get or create the :class:`Gauge` named ``name`` with ``labels``."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` named ``name`` with ``labels``."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def instruments(self) -> List[Instrument]:
+        """Every instrument registered directly on this registry."""
+        with self._lock:
+            return list(self._instruments.values())
+
+    # ------------------------------------------------------------------ #
+    def attach(self, key: str, child: "MetricsRegistry") -> None:
+        """Include ``child``'s instruments in this registry's expositions.
+
+        The reference is weak and keyed by ``key``: re-attaching the same
+        key replaces the previous child (how a gateway re-activation swaps
+        in the new server's telemetry), and a child whose owner is garbage
+        collected drops out on the next exposition.
+        """
+        with self._lock:
+            self._children[str(key)] = weakref.ref(child)
+
+    def detach(self, key: str) -> None:
+        """Remove an attached child registry (missing keys are ignored)."""
+        with self._lock:
+            self._children.pop(str(key), None)
+
+    def _live_children(self) -> List["MetricsRegistry"]:
+        with self._lock:
+            refs = list(self._children.items())
+        children: List[MetricsRegistry] = []
+        dead: List[str] = []
+        for key, ref in refs:
+            child = ref()
+            if child is None:
+                dead.append(key)
+            else:
+                children.append(child)
+        if dead:
+            with self._lock:
+                for key in dead:
+                    if key in self._children and self._children[key]() is None:
+                        del self._children[key]
+        return children
+
+    def _all_instruments(self) -> Iterable[Tuple[LabelPairs, Instrument]]:
+        """Yield ``(constant labels, instrument)`` over self plus live children."""
+        for instrument in self.instruments():
+            yield self.labels, instrument
+        for child in self._live_children():
+            for instrument in child.instruments():
+                yield child.labels, instrument
+
+    # ------------------------------------------------------------------ #
+    def expose_text(self) -> str:
+        """Render every instrument in Prometheus text exposition format."""
+        headers_done = set()
+        lines: List[str] = []
+        for const_labels, instrument in self._all_instruments():
+            pairs = tuple(dict(const_labels + instrument.labels).items())
+            if instrument.name not in headers_done:
+                headers_done.add(instrument.name)
+                if instrument.help:
+                    lines.append(f"# HELP {instrument.name} {instrument.help}")
+                kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[type(instrument)]
+                lines.append(f"# TYPE {instrument.name} {kind}")
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                for bound, count in zip(instrument.bounds, cumulative):
+                    bucket_pairs = pairs + (("le", f"{bound:g}"),)
+                    lines.append(f"{instrument.name}_bucket{_render_labels(bucket_pairs)} {count}")
+                inf_pairs = pairs + (("le", "+Inf"),)
+                lines.append(f"{instrument.name}_bucket{_render_labels(inf_pairs)} {cumulative[-1]}")
+                lines.append(f"{instrument.name}_sum{_render_labels(pairs)} {instrument.sum:g}")
+                lines.append(f"{instrument.name}_count{_render_labels(pairs)} {instrument.count}")
+            else:
+                lines.append(f"{instrument.name}{_render_labels(pairs)} {instrument.value:g}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-friendly dump: metric name -> list of per-label-set samples."""
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for const_labels, instrument in self._all_instruments():
+            labels = dict(const_labels + instrument.labels)
+            if isinstance(instrument, Histogram):
+                sample: Dict[str, Any] = {
+                    "type": "histogram",
+                    "labels": labels,
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "buckets": dict(
+                        zip([f"{b:g}" for b in instrument.bounds] + ["+Inf"], instrument.bucket_counts())
+                    ),
+                }
+            else:
+                sample = {
+                    "type": "counter" if isinstance(instrument, Counter) else "gauge",
+                    "labels": labels,
+                    "value": instrument.value,
+                }
+            out.setdefault(instrument.name, []).append(sample)
+        return out
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry ``python -m repro.obs`` exposes.
+
+    Sweep execution and the experiment cache register their counters here;
+    the serving gateway attaches each active model's telemetry registry so
+    one ``/metrics`` scrape covers the whole process.
+    """
+    return _DEFAULT_REGISTRY

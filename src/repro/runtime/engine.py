@@ -38,6 +38,7 @@ the same gate at publish time (``ModelRegistry.save_quantized``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -396,6 +397,7 @@ class CompiledNetwork:
         spike_sequence,
         record_activity: bool = True,
         collect_spike_trains: bool = False,
+        profiler=None,
     ) -> InferenceResult:
         """Execute the timestep loop on a ``(T, N, ...)`` spike sequence.
 
@@ -404,6 +406,14 @@ class CompiledNetwork:
         recorded.  Membrane state is reset at the start of every call.
         ``collect_spike_trains`` additionally stores every spiking layer's
         full spike train on the result (for equivalence testing).
+
+        ``profiler`` is an opt-in observation hook (duck-typed so this
+        module stays free of observability imports — see
+        ``repro.obs.profile.RuntimeProfiler``): when given, it receives
+        ``start_run(num_steps, batch, precision)`` once, then per-timestep
+        ``record_kernel(name, seconds)`` for every kernel invocation and
+        ``record_spikes(name, step, events, size)`` for every spiking
+        stage, on the float and quantized paths alike.
         """
         if isinstance(spike_sequence, Tensor):
             spike_sequence = spike_sequence.data
@@ -422,6 +432,8 @@ class CompiledNetwork:
         self.reset()
         for kernel in self.kernels:
             kernel.prepare()
+        if profiler is not None:
+            profiler.start_run(num_steps, batch, self.precision)
 
         activity = RuntimeActivity(num_steps=num_steps, samples=batch) if record_activity else None
         if activity is not None:
@@ -442,14 +454,22 @@ class CompiledNetwork:
                             activity.layer_input_events.get(kernel.name, 0.0)
                             + float(np.count_nonzero(x))
                         )
-                    x = kernel.run(x)
+                    if profiler is None:
+                        x = kernel.run(x)
+                    else:
+                        kernel_start = time.perf_counter()
+                        x = kernel.run(x)
+                        profiler.record_kernel(kernel.name, time.perf_counter() - kernel_start)
                     if kernel.is_spiking_stage:
+                        if activity is not None or profiler is not None:
+                            events = float(np.count_nonzero(x))
                         if activity is not None:
                             activity.layer_output_events[kernel.name] = (
-                                activity.layer_output_events.get(kernel.name, 0.0)
-                                + float(np.count_nonzero(x))
+                                activity.layer_output_events.get(kernel.name, 0.0) + events
                             )
                             activity.layer_neuron_counts[kernel.name] = int(x[0].size)
+                        if profiler is not None:
+                            profiler.record_spikes(kernel.name, t, events, int(x.size))
                         if trains is not None:
                             trains[kernel.name].append(x.copy())
                 if counts is None:

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.logs import log_scale_event
 from repro.serve.scheduler import InferenceServer
 
 
@@ -207,14 +208,18 @@ class ModelAutoscaler:
         max_batch = policy.batch_at(self.level)
         self.server.resize(workers=workers, max_batch=max_batch)
         direction = "up" if delta > 0 else "down"
+        reason = (
+            f"{self.name or 'model'}: level {self.level - delta}->{self.level}, "
+            f"queue_age_ms={queue_age:.1f}, p95_ms={p95:.1f}"
+        )
         self.server.telemetry.record_scale_event(
             direction,
             workers=workers,
             max_batch=max_batch,
-            reason=(
-                f"{self.name or 'model'}: level {self.level - delta}->{self.level}, "
-                f"queue_age_ms={queue_age:.1f}, p95_ms={p95:.1f}"
-            ),
+            reason=reason,
+        )
+        log_scale_event(
+            self.name or "model", direction, workers=workers, max_batch=max_batch, reason=reason
         )
         self._hot_streak = 0
         self._cold_streak = 0

@@ -34,6 +34,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.logs import log_breaker_transition
 from repro.serve.telemetry import ServeTelemetry
 
 __all__ = ["ModelUnavailable", "BreakerPolicy", "CircuitBreaker"]
@@ -104,6 +105,10 @@ class CircuitBreaker:
     clock:
         Monotonic time source, injectable for tests (defaults to
         :func:`time.monotonic`).
+    name:
+        Served-model name stamped on the structured log record each state
+        transition emits (``logging.getLogger("repro.serve")`` — see
+        :mod:`repro.obs.logs`).
 
     The scheduler calls :meth:`allow` per submit and
     :meth:`record_success` / :meth:`record_failure` per completed batch;
@@ -116,9 +121,11 @@ class CircuitBreaker:
         policy: Optional[BreakerPolicy] = None,
         telemetry: Optional[ServeTelemetry] = None,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "",
     ) -> None:
         self.policy = policy if policy is not None else BreakerPolicy()
         self.telemetry = telemetry
+        self.name = str(name)
         self._clock = clock
         self._lock = threading.Lock()
         self._state = "closed"
@@ -135,10 +142,12 @@ class CircuitBreaker:
             return self._state
 
     def _transition_locked(self, state: str) -> None:
-        """Move to ``state`` and mirror it into telemetry (lock held)."""
+        """Move to ``state``, mirror into telemetry, and log the transition (lock held)."""
+        old_state = self._state
         self._state = state
         if self.telemetry is not None:
             self.telemetry.record_breaker_transition(state)
+        log_breaker_transition(self.name or "model", old_state, state)
 
     def allow(self) -> bool:
         """Whether a new request may proceed right now.

@@ -64,6 +64,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import default_registry
+from repro.obs.trace import Tracer, default_tracer
 from repro.runtime.pool import CompiledNetworkPool
 from repro.serve.autoscaler import AutoscalePolicy, ModelAutoscaler
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker, ModelUnavailable
@@ -143,6 +145,13 @@ class ServeGateway:
         Optional :class:`~repro.serve.faults.FaultInjector` shared by
         every per-model server — test-only chaos hook, never set in
         production.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When enabled, every
+        :meth:`submit` mints a trace and opens a ``gateway.submit`` root
+        span whose ID rides into the per-model scheduler, so one request
+        yields a connected span tree (admission → queue → batch →
+        checkout → kernel → reply).  Defaults to the process tracer
+        (disabled unless ``REPRO_OBS_TRACE=1``).
 
     A model's server, compiled-plan pool and telemetry are created on the
     first request that names it and reused afterwards; :meth:`stop` shuts
@@ -163,6 +172,7 @@ class ServeGateway:
         reload_check_s: float = 0.0,
         breaker: Optional[BreakerPolicy] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if reload_check_s < 0:
             raise ValueError(f"reload_check_s must be non-negative, got {reload_check_s}")
@@ -181,6 +191,17 @@ class ServeGateway:
         self.reload_check_s = float(reload_check_s)
         self.breaker = breaker
         self.faults = faults
+        self.tracer = tracer if tracer is not None else default_tracer()
+        # Gateway-level lifecycle counters live on the process registry
+        # (per-model counters live in each model's labelled telemetry
+        # registry, attached to the same process registry on activation).
+        registry_metrics = default_registry()
+        self._m_activations = registry_metrics.counter(
+            "repro_gateway_activations_total", help="Per-model servers stood up by this process."
+        )
+        self._m_reloads = registry_metrics.counter(
+            "repro_gateway_reloads_total", help="Hot reloads picked up (in-place or replacing)."
+        )
         self._active: Dict[str, _ActiveModel] = {}
         self._creating: Dict[str, threading.Lock] = {}
         self._lock = threading.Lock()
@@ -244,19 +265,35 @@ class ServeGateway:
         # change) retires the server between resolution and submission.
         # The budget is bounded: a pathological republish loop surfaces as
         # a typed ModelUnavailable instead of retrying (or asserting) forever.
-        last_exc: Optional[ServerClosed] = None
-        for _ in range(SUBMIT_RELOAD_RETRIES):
-            active = self._resolve(name)
-            try:
-                return active.server.submit(image, priority=priority, deadline_ms=deadline_ms)
-            except ServerClosed as exc:
-                if self._closed:
-                    raise
-                last_exc = exc
-        raise ModelUnavailable(
-            f"model {name!r}: server kept retiring mid-submit "
-            f"({SUBMIT_RELOAD_RETRIES} hot-reload races in a row)"
-        ) from last_exc
+        trace_id = 0
+        root = None
+        trace_ctx: Optional[Tuple[int, int]] = None
+        if self.tracer.enabled:
+            # The trace is minted HERE: the root span covers routing,
+            # reload checks and the synchronous encode; the scheduler's
+            # stage spans attach under it via trace_ctx.
+            trace_id = self.tracer.mint_trace()
+            root = self.tracer.begin("gateway.submit", trace_id, model=name, priority=priority)
+            trace_ctx = (trace_id, root.span_id)
+        try:
+            last_exc: Optional[ServerClosed] = None
+            for _ in range(SUBMIT_RELOAD_RETRIES):
+                active = self._resolve(name)
+                try:
+                    return active.server.submit(
+                        image, priority=priority, deadline_ms=deadline_ms, trace_ctx=trace_ctx
+                    )
+                except ServerClosed as exc:
+                    if self._closed:
+                        raise
+                    last_exc = exc
+            raise ModelUnavailable(
+                f"model {name!r}: server kept retiring mid-submit "
+                f"({SUBMIT_RELOAD_RETRIES} hot-reload races in a row)"
+            ) from last_exc
+        finally:
+            if root is not None:
+                root.end()
 
     def submit_many(
         self,
@@ -379,14 +416,20 @@ class ServeGateway:
         pool = CompiledNetworkPool(
             entry.model, max_idle=workers, **quantization_pool_kwargs(entry.quantization)
         )
-        telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        telemetry = telemetry if telemetry is not None else ServeTelemetry(model=entry.name)
         telemetry.set_precision(pool.precision, pool.weight_bits)
+        # Make the model's labelled instruments scrapeable process-wide:
+        # the weakref attachment replaces any prior server's registry for
+        # this name and drops automatically when the telemetry dies.
+        default_registry().attach(f"serve/{entry.name}", telemetry.metrics)
         # Each server gets a FRESH breaker sharing the model's telemetry:
         # failure history must not leak across an architecture-replacing
         # reload (the new network deserves a closed breaker), while the
         # transition counters stay continuous in the inherited telemetry.
         breaker = (
-            CircuitBreaker(self.breaker, telemetry=telemetry) if self.breaker is not None else None
+            CircuitBreaker(self.breaker, telemetry=telemetry, name=entry.name)
+            if self.breaker is not None
+            else None
         )
         server = InferenceServer(
             pool,
@@ -399,7 +442,9 @@ class ServeGateway:
             telemetry=telemetry,
             breaker=breaker,
             faults=self.faults,
+            tracer=self.tracer,
         )
+        self._m_activations.inc()
         return server.start()
 
     def _ensure_autoscale_thread_locked(self) -> None:
@@ -582,6 +627,7 @@ class ServeGateway:
             )
             active.signature = signature
             active.reloads += 1
+            self._m_reloads.inc()
         if retired is not None:
             retired.stop(drain=True)
         with self._lock:

@@ -102,6 +102,7 @@ import numpy as np
 
 from repro.encoding import Encoder
 from repro.nn.module import Module
+from repro.obs.trace import Tracer, default_tracer
 from repro.runtime.pool import CompiledNetworkPool
 from repro.serve.breaker import CircuitBreaker, ModelUnavailable
 from repro.serve.faults import FaultInjector, InjectedKernelFault, InjectedWorkerDeath
@@ -173,6 +174,9 @@ class _Pending:
     sequence: int  # admission order (see ServeResult.sequence)
     priority: int = 0  # shed order under overload (lowest lane goes first)
     deadline: Optional[float] = None  # absolute perf_counter deadline, or None
+    trace_id: int = 0  # observability trace this request belongs to (0 = untraced)
+    root_span: int = 0  # parent span ID for the request's stage spans
+    cut: float = 0.0  # when the dispatcher cut this request into a batch (traced only)
 
 
 class InferenceServer:
@@ -226,6 +230,12 @@ class InferenceServer:
         hook injecting deterministic batch-level failures; ``None`` (the
         default, and the only production value) costs one attribute check
         per batch.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` receiving per-request
+        stage spans (admission → queue → batch → checkout → kernel →
+        reply).  Defaults to the process tracer, which is disabled unless
+        ``REPRO_OBS_TRACE=1`` — and a disabled tracer costs one boolean
+        check per instrumented site.
 
     Requests may be submitted before :meth:`start`: they queue up and are
     drained in FIFO chunks of exactly ``max_batch`` once the dispatcher
@@ -248,6 +258,7 @@ class InferenceServer:
         deadline_margin_ms: float = 5.0,
         breaker: Optional[CircuitBreaker] = None,
         faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
@@ -272,6 +283,10 @@ class InferenceServer:
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
         self.breaker = breaker
         self.faults = faults
+        # Disabled tracing is the default and stays off the hot path: every
+        # instrumented site first checks ``self.tracer.enabled`` (a single
+        # attribute read) before touching timestamps or span records.
+        self.tracer = tracer if tracer is not None else default_tracer()
 
         self._cv = threading.Condition()
         # Encoding is the dominant per-request CPU cost; it gets its own
@@ -528,6 +543,7 @@ class InferenceServer:
         image: np.ndarray,
         priority: int = 0,
         deadline_ms: Optional[float] = None,
+        trace_ctx: Optional[Tuple[int, int]] = None,
     ) -> "Future[ServeResult]":
         """Queue one raw image; returns a future resolving to a :class:`ServeResult`.
 
@@ -546,10 +562,23 @@ class InferenceServer:
         :class:`RequestTimedOut` instead.  With a ``breaker`` attached, an
         open circuit rejects the submit immediately with
         :class:`~repro.serve.breaker.ModelUnavailable`.
+
+        ``trace_ctx`` is an optional ``(trace_id, parent_span_id)`` pair
+        from an upstream span (the gateway's ``gateway.submit`` root);
+        when the tracer is enabled and no context is given, the request
+        mints its own trace.
         """
         image = np.asarray(image, dtype=np.float32)
         submitted = time.perf_counter()
         priority = int(priority)
+        traced = self.tracer.enabled
+        trace_id = 0
+        root_span = 0
+        if traced:
+            if trace_ctx is not None:
+                trace_id, root_span = trace_ctx
+            else:
+                trace_id = self.tracer.mint_trace()
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
         if self._closed:
@@ -589,20 +618,37 @@ class InferenceServer:
             # submit: encoding time must not eat into the max_wait window.
             # The deadline clock starts at submit — the caller's latency
             # budget covers the encode too.
+            queued = time.perf_counter()
             self._queue.append(
                 _Pending(
                     spikes=spikes,
                     future=future,
                     submitted=submitted,
-                    queued=time.perf_counter(),
+                    queued=queued,
                     input_density=density,
                     sequence=sequence,
                     priority=priority,
                     deadline=submitted + deadline_ms / 1000.0 if deadline_ms is not None else None,
+                    trace_id=trace_id,
+                    root_span=root_span,
                 )
             )
-            self.telemetry.record_admission(len(self._queue), priority=priority)
+            queue_depth = len(self._queue)
+            self.telemetry.record_admission(queue_depth, priority=priority)
             self._cv.notify_all()
+        if trace_id:
+            # Admission covers everything from submit to queue entry:
+            # breaker check, overload fast-path, encode, and admission
+            # control under the lock.
+            self.tracer.record(
+                "serve.admission",
+                trace_id,
+                root_span,
+                submitted,
+                queued,
+                priority=priority,
+                queue_depth=queue_depth,
+            )
         return future
 
     def submit_many(
@@ -684,6 +730,12 @@ class InferenceServer:
             if deadline_cut:
                 self.telemetry.record_deadline_dispatch()
             batch = [self._queue.popleft() for _ in range(min(self.max_batch, len(self._queue)))]
+            if self.tracer.enabled:
+                # Stamp when the dispatcher cut the batch: the boundary
+                # between each member's queue-wait and batch-formation spans.
+                cut = time.perf_counter()
+                for pending in batch:
+                    pending.cut = cut
             # Freed queue slots: wake back-pressured submitters (FIFO).
             self._cv.notify_all()
             return batch
@@ -794,6 +846,7 @@ class InferenceServer:
             self._run_batch(live, inject_kernel_fault=fate is not None and fate.kernel_fault)
 
     def _run_batch(self, batch: List[_Pending], inject_kernel_fault: bool = False) -> None:
+        traced = self.tracer.enabled
         try:
             started = time.perf_counter()
             if inject_kernel_fault:
@@ -804,6 +857,7 @@ class InferenceServer:
                 else np.concatenate([pending.spikes for pending in batch], axis=1)
             )
             with self.pool.acquire() as plan:
+                acquired = time.perf_counter() if traced else started
                 result = plan.run(spikes, record_activity=True)
             done = time.perf_counter()
 
@@ -843,6 +897,31 @@ class InferenceServer:
                 )
             if self.breaker is not None:
                 self.breaker.record_success()
+            if traced:
+                # Stage spans are recorded after the futures resolve, from
+                # timestamps stashed along the way — the batch's members
+                # share the measured boundaries but each span lands in its
+                # own request's trace, under that request's root span.
+                reply_done = time.perf_counter()
+                size = len(batch)
+                for pending in batch:
+                    if not pending.trace_id:
+                        continue
+                    trace_id, root = pending.trace_id, pending.root_span
+                    cut = pending.cut if pending.cut else started
+                    self.tracer.record("serve.queue", trace_id, root, pending.queued, cut)
+                    self.tracer.record("serve.batch", trace_id, root, cut, started, batch_size=size)
+                    self.tracer.record("serve.checkout", trace_id, root, started, acquired)
+                    self.tracer.record(
+                        "serve.kernel",
+                        trace_id,
+                        root,
+                        acquired,
+                        done,
+                        batch_size=size,
+                        precision=self.pool.precision,
+                    )
+                    self.tracer.record("serve.reply", trace_id, root, done, reply_done)
         except BaseException as exc:  # noqa: BLE001 - must reach the futures
             # Batch-level failure isolation: only THIS batch's futures see
             # the error; the worker survives and the server keeps serving.

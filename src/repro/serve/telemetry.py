@@ -2,12 +2,21 @@
 
 The scheduler reports one :class:`RequestStat` per completed request plus
 the batch's measured :class:`~repro.runtime.activity.RuntimeActivity`.
-:class:`ServeTelemetry` aggregates both under a lock: request stats into a
-bounded window (percentiles are over the most recent ``window`` requests),
-activity into a running total — which is exactly the input the hardware
-cost models consume, so the telemetry can put *measured* serving throughput
-side by side with the accelerator model's *predicted* fps for the same
-traffic (:meth:`ServeTelemetry.hardware_comparison`).
+:class:`ServeTelemetry` aggregates both — request stats into a bounded
+window (percentiles are over the most recent ``window`` requests), activity
+into a running total — which is exactly the input the hardware cost models
+consume, so the telemetry can put *measured* serving throughput side by
+side with the accelerator model's *predicted* fps for the same traffic
+(:meth:`ServeTelemetry.hardware_comparison`).
+
+Counter state lives in :mod:`repro.obs.metrics` instruments: every
+telemetry instance owns a private
+:class:`~repro.obs.metrics.MetricsRegistry` (labelled with the model name
+when one is given), and the ``total_*`` attributes of old are now
+read-only views over those instruments.  The gateway attaches each model's
+registry to the process-wide default registry, which is what
+``python -m repro.obs serve`` scrapes — the public recording API and the
+:func:`format_telemetry` output are unchanged.
 """
 
 from __future__ import annotations
@@ -20,11 +29,17 @@ from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, Counter, LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.runtime.activity import RuntimeActivity
 
 #: How many most-recent scale events :class:`ServeTelemetry` retains in full
 #: detail (the up/down totals are unbounded counters).
 SCALE_EVENT_HISTORY = 256
+
+#: Numeric encoding of breaker state for the ``repro_serve_breaker_state``
+#: gauge (Prometheus gauges are floats; the string state stays on the
+#: telemetry object).
+BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 
 @dataclass(frozen=True)
@@ -54,7 +69,7 @@ class RequestStat:
 
 
 class ServeTelemetry:
-    """Thread-safe aggregate of serving measurements.
+    """Thread-safe aggregate of serving measurements over metric instruments.
 
     Parameters
     ----------
@@ -62,6 +77,10 @@ class ServeTelemetry:
         Number of most-recent requests the latency percentiles cover.
         Totals (request/batch counters, admission counters, spike activity,
         fps) are unbounded.
+    model:
+        Optional served-model name; when given, every instrument in this
+        telemetry's registry carries a ``model="..."`` label so several
+        models' metrics coexist in one scrape.
 
     Besides completion stats, the scheduler reports every *admission
     decision* here: :meth:`record_admission` when a request enters the
@@ -74,26 +93,72 @@ class ServeTelemetry:
     order, and how capacity tracked all three.
     """
 
-    def __init__(self, window: int = 4096) -> None:
+    def __init__(self, window: int = 4096, model: str = "") -> None:
         if window < 1:
             raise ValueError(f"window must be positive, got {window}")
         self.window = int(window)
+        #: Name of the served model these metrics describe ("" = unnamed).
+        self.model = str(model)
+        #: The instrument registry backing every counter below; the gateway
+        #: attaches it to ``repro.obs.default_registry()`` for scraping.
+        self.metrics = MetricsRegistry(labels={"model": self.model} if self.model else None)
         self._lock = threading.Lock()
         self._stats: Deque[RequestStat] = deque(maxlen=self.window)
-        self.total_requests = 0
-        self.total_batches = 0
-        self.total_admitted = 0
-        self.total_shed = 0
-        self.total_deadline_dispatches = 0
-        self.total_scale_ups = 0
-        self.total_scale_downs = 0
-        self.total_failed = 0
-        self.total_timed_out = 0
-        self.total_worker_deaths = 0
-        self.total_reload_failures = 0
-        self.total_breaker_opens = 0
-        self.total_breaker_closes = 0
-        self.total_breaker_rejections = 0
+
+        reg = self.metrics
+        self._c_requests = reg.counter("repro_serve_requests_total", help="Requests completed successfully.")
+        self._c_batches = reg.counter("repro_serve_batches_total", help="Micro-batches executed.")
+        self._c_deadline = reg.counter(
+            "repro_serve_deadline_dispatches_total",
+            help="Batches dispatched early to protect a request deadline.",
+        )
+        self._c_failed = reg.counter("repro_serve_failed_total", help="Requests whose batch failed.")
+        self._c_worker_deaths = reg.counter(
+            "repro_serve_worker_deaths_total", help="Worker threads lost to escaped exceptions."
+        )
+        self._c_reload_failures = reg.counter(
+            "repro_serve_reload_failures_total", help="Hot reloads that failed (old weights kept serving)."
+        )
+        self._c_breaker_opens = reg.counter(
+            "repro_serve_breaker_opens_total", help="Circuit-breaker transitions into open."
+        )
+        self._c_breaker_closes = reg.counter(
+            "repro_serve_breaker_closes_total", help="Circuit-breaker recoveries back to closed."
+        )
+        self._c_breaker_rejections = reg.counter(
+            "repro_serve_breaker_rejections_total", help="Submits rejected fail-fast by an open breaker."
+        )
+        self._g_queue_high_water = reg.gauge(
+            "repro_serve_queue_depth_high_water", help="Deepest queue observed at admission."
+        )
+        self._g_breaker_state = reg.gauge(
+            "repro_serve_breaker_state", help="Breaker state code (0=closed, 1=half_open, 2=open)."
+        )
+        self._g_weight_bits = reg.gauge(
+            "repro_serve_weight_bits", help="Weight precision in bits (0 = full-precision float)."
+        )
+        self._h_latency = reg.histogram(
+            "repro_serve_request_latency_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            help="Submit-to-completion latency per request (ms).",
+        )
+        self._h_queue = reg.histogram(
+            "repro_serve_queue_wait_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            help="Queue wait before batch execution per request (ms).",
+        )
+        self._h_batch_size = reg.histogram(
+            "repro_serve_batch_size",
+            buckets=BATCH_SIZE_BUCKETS,
+            help="Micro-batch size distribution.",
+        )
+        # Per-lane and per-direction counters materialise on first use
+        # (labelled instruments in the same registry).
+        self._admitted_by_lane: Dict[int, Counter] = {}
+        self._shed_by_lane: Dict[int, Counter] = {}
+        self._timed_out_by_lane: Dict[int, Counter] = {}
+        self._scale_by_direction: Dict[str, Counter] = {}
+
         #: Current circuit-breaker state for the served model
         #: (``closed``/``open``/``half_open``); stays ``closed`` when no
         #: breaker is attached.
@@ -106,36 +171,121 @@ class ServeTelemetry:
         self.precision = "fp32"
         #: Weight bits for quantized serving (``None`` = full precision).
         self.weight_bits: Optional[int] = None
-        self.queue_depth_high_water = 0
         self.activity: Optional[RuntimeActivity] = None
-        self._admitted_by_lane: Dict[int, int] = {}
-        self._shed_by_lane: Dict[int, int] = {}
-        self._timed_out_by_lane: Dict[int, int] = {}
         self._scale_events: Deque[Dict[str, Any]] = deque(maxlen=SCALE_EVENT_HISTORY)
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
+
+    # -- instrument views (the old plain-int counter attributes) --------- #
+    @property
+    def total_requests(self) -> int:
+        """Requests completed successfully."""
+        return int(self._c_requests.value)
+
+    @property
+    def total_batches(self) -> int:
+        """Micro-batches executed."""
+        return int(self._c_batches.value)
+
+    @property
+    def total_admitted(self) -> int:
+        """Requests admitted to the queue (all lanes)."""
+        return sum(int(c.value) for c in self._admitted_by_lane.values())
+
+    @property
+    def total_shed(self) -> int:
+        """Requests rejected or evicted by admission control (all lanes)."""
+        return sum(int(c.value) for c in self._shed_by_lane.values())
+
+    @property
+    def total_deadline_dispatches(self) -> int:
+        """Batches dispatched early to protect a request deadline."""
+        return int(self._c_deadline.value)
+
+    @property
+    def total_scale_ups(self) -> int:
+        """Autoscaler capacity increases."""
+        counter = self._scale_by_direction.get("up")
+        return int(counter.value) if counter is not None else 0
+
+    @property
+    def total_scale_downs(self) -> int:
+        """Autoscaler capacity decreases."""
+        counter = self._scale_by_direction.get("down")
+        return int(counter.value) if counter is not None else 0
+
+    @property
+    def total_failed(self) -> int:
+        """Requests whose batch failed."""
+        return int(self._c_failed.value)
+
+    @property
+    def total_timed_out(self) -> int:
+        """Requests that missed their deadline (all lanes)."""
+        return sum(int(c.value) for c in self._timed_out_by_lane.values())
+
+    @property
+    def total_worker_deaths(self) -> int:
+        """Worker threads lost to escaped exceptions (and respawned)."""
+        return int(self._c_worker_deaths.value)
+
+    @property
+    def total_reload_failures(self) -> int:
+        """Hot reloads that failed (old weights kept serving)."""
+        return int(self._c_reload_failures.value)
+
+    @property
+    def total_breaker_opens(self) -> int:
+        """Circuit-breaker transitions into ``open``."""
+        return int(self._c_breaker_opens.value)
+
+    @property
+    def total_breaker_closes(self) -> int:
+        """Circuit-breaker recoveries back to ``closed``."""
+        return int(self._c_breaker_closes.value)
+
+    @property
+    def total_breaker_rejections(self) -> int:
+        """Submits rejected fail-fast by an open breaker."""
+        return int(self._c_breaker_rejections.value)
+
+    @property
+    def queue_depth_high_water(self) -> int:
+        """Deepest queue observed at admission."""
+        return int(self._g_queue_high_water.value)
+
+    def _lane_counter(self, table: Dict[int, Counter], name: str, help_text: str, lane: int) -> Counter:
+        counter = table.get(lane)
+        if counter is None:
+            counter = self.metrics.counter(name, help=help_text, labels={"lane": str(lane)})
+            table[lane] = counter
+        return counter
 
     # ------------------------------------------------------------------ #
     def record_admission(self, queue_depth: int, priority: int = 0) -> None:
         """Count one admitted request and fold in the observed queue depth."""
         with self._lock:
-            self.total_admitted += 1
-            lane = int(priority)
-            self._admitted_by_lane[lane] = self._admitted_by_lane.get(lane, 0) + 1
-            if queue_depth > self.queue_depth_high_water:
-                self.queue_depth_high_water = queue_depth
+            self._lane_counter(
+                self._admitted_by_lane,
+                "repro_serve_admitted_total",
+                "Requests admitted to the queue.",
+                int(priority),
+            ).inc()
+            self._g_queue_high_water.set_max(float(queue_depth))
 
     def record_shed(self, priority: int = 0) -> None:
         """Count one request rejected (or evicted) by admission control."""
         with self._lock:
-            self.total_shed += 1
-            lane = int(priority)
-            self._shed_by_lane[lane] = self._shed_by_lane.get(lane, 0) + 1
+            self._lane_counter(
+                self._shed_by_lane,
+                "repro_serve_shed_total",
+                "Requests rejected or evicted by admission control.",
+                int(priority),
+            ).inc()
 
     def record_deadline_dispatch(self) -> None:
         """Count one batch dispatched early to protect a request's deadline."""
-        with self._lock:
-            self.total_deadline_dispatches += 1
+        self._c_deadline.inc()
 
     def record_failure(self, error: str, count: int = 1) -> None:
         """Count ``count`` requests whose batch failed, remembering the error.
@@ -146,20 +296,23 @@ class ServeTelemetry:
         rendered report.
         """
         with self._lock:
-            self.total_failed += int(count)
+            self._c_failed.inc(int(count))
             self.last_error = str(error)
 
     def record_timeout(self, priority: int = 0) -> None:
         """Count one request that missed its deadline (per priority lane)."""
         with self._lock:
-            self.total_timed_out += 1
-            lane = int(priority)
-            self._timed_out_by_lane[lane] = self._timed_out_by_lane.get(lane, 0) + 1
+            self._lane_counter(
+                self._timed_out_by_lane,
+                "repro_serve_timed_out_total",
+                "Requests that missed their deadline.",
+                int(priority),
+            ).inc()
 
     def record_worker_death(self, error: str = "") -> None:
         """Count one worker thread lost to an escaped exception (and respawned)."""
         with self._lock:
-            self.total_worker_deaths += 1
+            self._c_worker_deaths.inc()
             if error:
                 self.last_error = str(error)
 
@@ -173,26 +326,27 @@ class ServeTelemetry:
         with self._lock:
             self.precision = str(precision)
             self.weight_bits = int(weight_bits) if weight_bits is not None else None
+            self._g_weight_bits.set(float(self.weight_bits or 0))
 
     def record_reload_failure(self, error: str) -> None:
         """Count one hot-reload that failed (old weights keep serving)."""
         with self._lock:
-            self.total_reload_failures += 1
+            self._c_reload_failures.inc()
             self.last_error = str(error)
 
     def record_breaker_transition(self, state: str) -> None:
         """Track a circuit-breaker state change (``closed``/``open``/``half_open``)."""
         with self._lock:
             if state == "open":
-                self.total_breaker_opens += 1
+                self._c_breaker_opens.inc()
             elif state == "closed" and self.breaker_state != "closed":
-                self.total_breaker_closes += 1
+                self._c_breaker_closes.inc()
             self.breaker_state = state
+            self._g_breaker_state.set(BREAKER_STATE_CODES.get(state, -1.0))
 
     def record_breaker_rejection(self) -> None:
         """Count one submit rejected fail-fast by an open circuit breaker."""
-        with self._lock:
-            self.total_breaker_rejections += 1
+        self._c_breaker_rejections.inc()
 
     def record_scale_event(
         self,
@@ -208,10 +362,16 @@ class ServeTelemetry:
         the up/down totals surfaced in :meth:`summary` are unbounded.
         """
         with self._lock:
-            if direction == "up":
-                self.total_scale_ups += 1
-            else:
-                self.total_scale_downs += 1
+            key = "up" if direction == "up" else "down"
+            counter = self._scale_by_direction.get(key)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "repro_serve_scale_events_total",
+                    help="Autoscaler capacity changes.",
+                    labels={"direction": key},
+                )
+                self._scale_by_direction[key] = counter
+            counter.inc()
             self._scale_events.append(
                 {
                     "time": time.monotonic(),
@@ -231,9 +391,9 @@ class ServeTelemetry:
         """Per-lane counts: ``{"admitted": {...}, "shed": {...}, "timed_out": {...}}``."""
         with self._lock:
             return {
-                "admitted": dict(self._admitted_by_lane),
-                "shed": dict(self._shed_by_lane),
-                "timed_out": dict(self._timed_out_by_lane),
+                "admitted": {lane: int(c.value) for lane, c in self._admitted_by_lane.items()},
+                "shed": {lane: int(c.value) for lane, c in self._shed_by_lane.items()},
+                "timed_out": {lane: int(c.value) for lane, c in self._timed_out_by_lane.items()},
             }
 
     def reset_activity(self) -> None:
@@ -266,8 +426,13 @@ class ServeTelemetry:
         """
         with self._lock:
             self._stats.extend(stats)
-            self.total_requests += len(stats)
-            self.total_batches += 1
+            self._c_requests.inc(len(stats))
+            self._c_batches.inc()
+            for stat in stats:
+                self._h_latency.observe(stat.latency_ms)
+                self._h_queue.observe(stat.queue_ms)
+            if stats:
+                self._h_batch_size.observe(float(len(stats)))
             if activity is not None:
                 if self.activity is None or self.activity.num_steps != activity.num_steps:
                     self.activity = RuntimeActivity(num_steps=activity.num_steps)
@@ -310,12 +475,13 @@ class ServeTelemetry:
     def achieved_fps(self) -> float:
         """Completed requests per second of wall time since the first submit."""
         with self._lock:
-            if self._first_submit is None or self._last_done is None or self.total_requests == 0:
+            total = int(self._c_requests.value)
+            if self._first_submit is None or self._last_done is None or total == 0:
                 return 0.0
             elapsed = self._last_done - self._first_submit
             if elapsed <= 0:
                 return float("inf")
-            return self.total_requests / elapsed
+            return total / elapsed
 
     def mean_batch_size(self) -> float:
         """Average micro-batch size over the window (0 when nothing served)."""
@@ -349,9 +515,9 @@ class ServeTelemetry:
         :meth:`lane_counters`.
         """
         with self._lock:
-            shed_high = sum(n for lane, n in self._shed_by_lane.items() if lane > 0)
-            shed_low = sum(n for lane, n in self._shed_by_lane.items() if lane <= 0)
-            admitted_high = sum(n for lane, n in self._admitted_by_lane.items() if lane > 0)
+            shed_high = sum(int(c.value) for lane, c in self._shed_by_lane.items() if lane > 0)
+            shed_low = sum(int(c.value) for lane, c in self._shed_by_lane.items() if lane <= 0)
+            admitted_high = sum(int(c.value) for lane, c in self._admitted_by_lane.items() if lane > 0)
         out: Dict[str, float] = {
             "requests": float(self.total_requests),
             "batches": float(self.total_batches),

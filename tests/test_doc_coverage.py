@@ -1,7 +1,7 @@
-"""Docstring coverage gate for the public API of ``repro.serve`` / ``repro.exec``.
+"""Docstring gate for the public API of ``repro.serve`` / ``repro.exec`` / ``repro.obs``.
 
-These two packages are the repo's operational surface (deployment and sweep
-execution) — the ones people drive from their own code rather than through
+These packages are the repo's operational surface (deployment, sweep
+execution, observability) — the ones people drive from their own code rather than through
 the paper's experiment scripts — so every public module, class, function,
 method and property they define must carry a docstring.  The walk is
 structural (no imports of private helpers, no enforcement on ``_``-prefixed
@@ -18,7 +18,7 @@ import pkgutil
 
 import pytest
 
-PACKAGES = ("repro.serve", "repro.exec")
+PACKAGES = ("repro.serve", "repro.exec", "repro.obs")
 
 
 def _iter_modules(package_name):
@@ -96,4 +96,5 @@ def test_walk_actually_sees_the_api():
             )
     assert "repro.serve.gateway.ServeGateway" in seen
     assert "repro.exec.executor.run_experiments" in seen
+    assert "repro.obs.metrics.MetricsRegistry" in seen
     assert len(seen) > 20
