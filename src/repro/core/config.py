@@ -155,6 +155,14 @@ class ExperimentConfig:
         The :class:`ReproScale` preset governing sizes.
     label:
         Optional free-form label used in reports.
+    neuron:
+        Spiking substrate name for every firing layer: ``"lif"`` (the
+        paper's model, default), ``"if"``, ``"adaptive"`` or ``"synaptic"``
+        (see :mod:`repro.neurons.factory`).
+    adaptation_step, adaptation_decay:
+        Adaptive-threshold parameters, used when ``neuron="adaptive"``.
+    alpha:
+        Synaptic-current decay factor, used when ``neuron="synaptic"``.
     """
 
     surrogate: str = "fast_sigmoid"
@@ -167,6 +175,10 @@ class ExperimentConfig:
     seed: int = 0
     scale: ReproScale = field(default_factory=lambda: SCALE_PRESETS["bench"])
     label: str = ""
+    neuron: str = "lif"
+    adaptation_step: float = 0.2
+    adaptation_decay: float = 0.9
+    alpha: float = 0.9
 
     def __post_init__(self) -> None:
         if self.surrogate_scale <= 0:
@@ -179,6 +191,34 @@ class ExperimentConfig:
             raise ValueError("learning_rate must be positive")
         if self.loss not in ("ce_count", "mse_count"):
             raise ValueError("loss must be 'ce_count' or 'mse_count'")
+        # Local tuple rather than repro.neurons.NEURON_TYPES: config must
+        # stay importable without pulling in the neuron/autograd stack.
+        if self.neuron not in ("lif", "if", "adaptive", "synaptic"):
+            raise ValueError(
+                f"neuron must be one of ('lif', 'if', 'adaptive', 'synaptic'), got '{self.neuron}'"
+            )
+        if self.adaptation_step < 0:
+            raise ValueError("adaptation_step must be non-negative")
+        if not 0.0 <= self.adaptation_decay <= 1.0:
+            raise ValueError("adaptation_decay must lie in [0, 1]")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+
+    def neuron_params(self) -> Dict[str, float]:
+        """Substrate-specific parameters for :func:`~repro.neurons.factory.build_neuron`.
+
+        Only the fields the selected substrate actually consumes are
+        included, so ``lif`` / ``if`` configs map to an empty dict no matter
+        what the adaptive/synaptic fields hold.
+        """
+        if self.neuron == "adaptive":
+            return {
+                "adaptation_step": self.adaptation_step,
+                "adaptation_decay": self.adaptation_decay,
+            }
+        if self.neuron == "synaptic":
+            return {"alpha": self.alpha}
+        return {}
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with the given fields replaced."""
@@ -190,6 +230,8 @@ class ExperimentConfig:
             f"{self.surrogate}(scale={self.surrogate_scale:g}) "
             f"beta={self.beta:g} theta={self.threshold:g}"
         )
+        if not self.label and self.neuron != "lif":
+            label += f" neuron={self.neuron}"
         return label
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -61,6 +62,17 @@ class ExperimentRecord:
         return row
 
 
+class RuntimeFallbackWarning(UserWarning):
+    """Emitted when the event-driven runtime cannot compile a model.
+
+    :func:`evaluate_trained_model` then evaluates through the dense forward
+    instead — numerically equivalent but slower, and previously silent.  The
+    warning message carries the compiler's reason (which layer failed to
+    lower), and the ``experiment_runtime_fallback_total`` obs counter ticks
+    once per fallback so sweeps can spot systematic degradation.
+    """
+
+
 def make_encoder(config: ExperimentConfig) -> Encoder:
     """Construct the input encoder named by the configuration."""
     name = config.encoder.lower()
@@ -118,6 +130,8 @@ def make_model(config: ExperimentConfig) -> SpikingCNN:
         surrogate_name=config.surrogate,
         surrogate_scale=config.surrogate_scale,
         seed=config.seed,
+        neuron=config.neuron,
+        neuron_params=config.neuron_params(),
     )
 
 
@@ -167,16 +181,29 @@ def evaluate_trained_model(
         (:mod:`repro.runtime`) instead of the dense forward.  The runtime
         produces identical spike trains, so accuracy and the sparsity
         profile are unchanged — only faster.  Models the runtime cannot
-        compile fall back to the dense path automatically.
+        compile fall back to the dense path automatically, with a
+        :class:`RuntimeFallbackWarning` naming the unsupported layer and a
+        tick on the ``experiment_runtime_fallback_total`` counter.
     """
     accel = accelerator if accelerator is not None else SparsityAwareAccelerator()
     compiled = None
     if use_runtime:
+        from repro.obs.metrics import default_registry
         from repro.runtime import RuntimeCompileError, compile_network
 
         try:
             compiled = compile_network(model)
-        except RuntimeCompileError:
+        except RuntimeCompileError as exc:
+            warnings.warn(
+                f"event-driven runtime cannot compile {type(model).__name__} "
+                f"({exc}); falling back to the dense forward",
+                RuntimeFallbackWarning,
+                stacklevel=2,
+            )
+            default_registry().counter(
+                "experiment_runtime_fallback_total",
+                help="Dense-path fallbacks because the runtime could not compile a model",
+            ).inc()
             compiled = None
 
     if compiled is not None:

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor
-from repro.neurons.lif import LIF
+from repro.neurons.factory import build_neuron
 from repro.nn.conv import Conv2d
 from repro.nn.flatten import Flatten
 from repro.nn.linear import Linear
@@ -54,6 +54,11 @@ class SpikingCNN(Module):
         Registry name and derivative scale used when ``surrogate`` is None.
     seed:
         Weight-initialisation seed.
+    neuron, neuron_params:
+        Spiking substrate applied to every firing layer — a name from
+        :data:`~repro.neurons.factory.NEURON_TYPES` (default ``"lif"``, the
+        paper's model) plus its substrate-specific parameters (see
+        :data:`~repro.neurons.factory.NEURON_PARAM_DEFAULTS`).
     """
 
     def __init__(
@@ -69,6 +74,8 @@ class SpikingCNN(Module):
         surrogate_name: str = "fast_sigmoid",
         surrogate_scale: float = 25.0,
         seed: int = 0,
+        neuron: str = "lif",
+        neuron_params: Optional[Dict[str, float]] = None,
     ) -> None:
         super().__init__()
         if image_size % 4 != 0:
@@ -86,19 +93,27 @@ class SpikingCNN(Module):
         self.beta = float(beta)
         self.threshold = float(threshold)
         self.surrogate = surrogate
+        self.neuron = str(neuron)
+
+        def fire():
+            # Spiking layers are stateful: every firing site gets its own
+            # fresh instance of the selected substrate.
+            return build_neuron(
+                neuron, beta=beta, threshold=threshold, surrogate=surrogate, params=neuron_params
+            )
 
         self.conv1 = Conv2d(in_channels, c1, kernel_size=3, padding=1, rng=rng)
-        self.lif1 = LIF(beta=beta, threshold=threshold, surrogate=surrogate)
+        self.lif1 = fire()
         self.pool1 = MaxPool2d(2)
         self.conv2 = Conv2d(c1, c2, kernel_size=3, padding=1, rng=rng)
-        self.lif2 = LIF(beta=beta, threshold=threshold, surrogate=surrogate)
+        self.lif2 = fire()
         self.pool2 = MaxPool2d(2)
         self.flatten = Flatten()
         feature_size = c2 * (image_size // 4) * (image_size // 4)
         self.fc1 = Linear(feature_size, hidden_units, rng=rng)
-        self.lif3 = LIF(beta=beta, threshold=threshold, surrogate=surrogate)
+        self.lif3 = fire()
         self.fc2 = Linear(hidden_units, num_classes, rng=rng)
-        self.lif_out = LIF(beta=beta, threshold=threshold, surrogate=surrogate)
+        self.lif_out = fire()
 
     # ------------------------------------------------------------------ #
     def step(self, frame: Tensor) -> Tensor:
@@ -207,6 +222,8 @@ class SpikingMLP(Module):
         surrogate_name: str = "fast_sigmoid",
         surrogate_scale: float = 25.0,
         seed: int = 0,
+        neuron: str = "lif",
+        neuron_params: Optional[Dict[str, float]] = None,
     ) -> None:
         super().__init__()
         if surrogate is None:
@@ -215,10 +232,15 @@ class SpikingMLP(Module):
         self.in_features = int(in_features)
         self.hidden_units = int(hidden_units)
         self.num_classes = int(num_classes)
+        self.neuron = str(neuron)
         self.fc1 = Linear(in_features, hidden_units, rng=rng)
-        self.lif1 = LIF(beta=beta, threshold=threshold, surrogate=surrogate)
+        self.lif1 = build_neuron(
+            neuron, beta=beta, threshold=threshold, surrogate=surrogate, params=neuron_params
+        )
         self.fc2 = Linear(hidden_units, num_classes, rng=rng)
-        self.lif_out = LIF(beta=beta, threshold=threshold, surrogate=surrogate)
+        self.lif_out = build_neuron(
+            neuron, beta=beta, threshold=threshold, surrogate=surrogate, params=neuron_params
+        )
 
     def step(self, frame: Tensor) -> Tensor:
         """One timestep on a flat frame of shape ``(N, in_features)``."""
@@ -277,6 +299,8 @@ def build_paper_network(
     conv_channels: Tuple[int, int] = (32, 32),
     hidden_units: int = 256,
     seed: int = 0,
+    neuron: str = "lif",
+    neuron_params: Optional[Dict[str, float]] = None,
 ) -> SpikingCNN:
     """Convenience constructor for the paper's network at a chosen width."""
     return SpikingCNN(
@@ -288,4 +312,6 @@ def build_paper_network(
         surrogate_name=surrogate_name,
         surrogate_scale=surrogate_scale,
         seed=seed,
+        neuron=neuron,
+        neuron_params=neuron_params,
     )

@@ -20,5 +20,24 @@ from repro.neurons.lif import LIF
 from repro.neurons.if_neuron import IF
 from repro.neurons.synaptic import SynapticLIF
 from repro.neurons.adaptive import AdaptiveLIF
+from repro.neurons.factory import (
+    NEURON_PARAM_DEFAULTS,
+    NEURON_TYPES,
+    build_neuron,
+    neuron_descriptor,
+    resolve_neuron_params,
+)
 
-__all__ = ["SpikingNeuron", "NeuronState", "LIF", "IF", "SynapticLIF", "AdaptiveLIF"]
+__all__ = [
+    "SpikingNeuron",
+    "NeuronState",
+    "LIF",
+    "IF",
+    "SynapticLIF",
+    "AdaptiveLIF",
+    "NEURON_TYPES",
+    "NEURON_PARAM_DEFAULTS",
+    "build_neuron",
+    "neuron_descriptor",
+    "resolve_neuron_params",
+]

@@ -48,6 +48,7 @@ from repro.runtime.engine import (
 )
 from repro.runtime.pool import CompiledNetworkPool
 from repro.runtime.kernels import (
+    AdaptiveLIFKernel,
     AvgPoolKernel,
     ConvKernel,
     FlattenKernel,
@@ -55,9 +56,12 @@ from repro.runtime.kernels import (
     Kernel,
     LinearKernel,
     MaxPoolKernel,
+    QuantizedAdaptiveLIFKernel,
     QuantizedConvKernel,
     QuantizedLIFKernel,
     QuantizedLinearKernel,
+    QuantizedSynapticLIFKernel,
+    SynapticLIFKernel,
 )
 
 __all__ = [
@@ -84,10 +88,14 @@ __all__ = [
     "ConvKernel",
     "LinearKernel",
     "FusedLIFKernel",
+    "AdaptiveLIFKernel",
+    "SynapticLIFKernel",
     "MaxPoolKernel",
     "AvgPoolKernel",
     "FlattenKernel",
     "QuantizedConvKernel",
     "QuantizedLinearKernel",
     "QuantizedLIFKernel",
+    "QuantizedAdaptiveLIFKernel",
+    "QuantizedSynapticLIFKernel",
 ]

@@ -45,8 +45,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.neurons.adaptive import AdaptiveLIF
 from repro.neurons.base import SpikingNeuron
 from repro.neurons.lif import LIF
+from repro.neurons.synaptic import SynapticLIF
 from repro.nn.conv import Conv2d
 from repro.nn.dropout import Dropout
 from repro.nn.flatten import Flatten
@@ -57,6 +59,7 @@ from repro.nn.sequential import Sequential
 from repro.hardware.quantization import QuantizationConfig
 from repro.runtime.activity import RuntimeActivity
 from repro.runtime.kernels import (
+    AdaptiveLIFKernel,
     AvgPoolKernel,
     ConvKernel,
     FlattenKernel,
@@ -64,9 +67,12 @@ from repro.runtime.kernels import (
     Kernel,
     LinearKernel,
     MaxPoolKernel,
+    QuantizedAdaptiveLIFKernel,
     QuantizedConvKernel,
     QuantizedLIFKernel,
     QuantizedLinearKernel,
+    QuantizedSynapticLIFKernel,
+    SynapticLIFKernel,
 )
 
 #: Supported execution precisions for :func:`compile_network`.
@@ -192,28 +198,67 @@ def _lower_module(name: str, module: Module, state: _LoweringState) -> Optional[
         if state.integer:
             state.pending_weight = kernel
         return kernel
-    if isinstance(module, LIF):
-        if module.learn_beta:
-            raise RuntimeCompileError(f"layer '{name}': learned beta is not supported by the runtime")
-        if state.integer:
-            kernel = QuantizedLIFKernel(
-                name,
-                module.beta,
-                module.threshold,
-                module.reset_mechanism,
-                upstream=state.pending_weight,
-                fallback_scale=state.input_scale,
-            )
-            # Binary spikes leave the layer: the scale chain restarts at 1.
-            state.pending_weight = None
-            state.input_scale = 1.0
-            state.input_int_max = 1.0
-            return kernel
-        return FusedLIFKernel(name, module.beta, module.threshold, module.reset_mechanism)
     if isinstance(module, SpikingNeuron):
-        raise RuntimeCompileError(
-            f"layer '{name}': {type(module).__name__} neurons are not supported by the runtime (only LIF)"
-        )
+        if getattr(module, "learn_beta", False):
+            raise RuntimeCompileError(f"layer '{name}': learned beta is not supported by the runtime")
+        if isinstance(module, AdaptiveLIF):
+            if state.integer:
+                kernel = QuantizedAdaptiveLIFKernel(
+                    name,
+                    module.beta,
+                    module.threshold,
+                    module.reset_mechanism,
+                    upstream=state.pending_weight,
+                    fallback_scale=state.input_scale,
+                    adaptation_step=module.adaptation_step,
+                    adaptation_decay=module.adaptation_decay,
+                )
+            else:
+                return AdaptiveLIFKernel(
+                    name,
+                    module.beta,
+                    module.threshold,
+                    module.reset_mechanism,
+                    adaptation_step=module.adaptation_step,
+                    adaptation_decay=module.adaptation_decay,
+                )
+        elif isinstance(module, SynapticLIF):
+            if state.integer:
+                kernel = QuantizedSynapticLIFKernel(
+                    name,
+                    module.alpha,
+                    module.beta,
+                    module.threshold,
+                    module.reset_mechanism,
+                    upstream=state.pending_weight,
+                    fallback_scale=state.input_scale,
+                )
+            else:
+                return SynapticLIFKernel(
+                    name, module.alpha, module.beta, module.threshold, module.reset_mechanism
+                )
+        elif isinstance(module, LIF):
+            if state.integer:
+                kernel = QuantizedLIFKernel(
+                    name,
+                    module.beta,
+                    module.threshold,
+                    module.reset_mechanism,
+                    upstream=state.pending_weight,
+                    fallback_scale=state.input_scale,
+                )
+            else:
+                return FusedLIFKernel(name, module.beta, module.threshold, module.reset_mechanism)
+        else:
+            raise RuntimeCompileError(
+                f"layer '{name}': {type(module).__name__} neurons are not supported by the "
+                "runtime (supported: LIF, IF, AdaptiveLIF, SynapticLIF)"
+            )
+        # Binary spikes leave the layer: the scale chain restarts at 1.
+        state.pending_weight = None
+        state.input_scale = 1.0
+        state.input_int_max = 1.0
+        return kernel
     if isinstance(module, MaxPool2d):
         # Max of same-scale integers is exact — scale chain unaffected.
         return MaxPoolKernel(name, module.kernel_size)

@@ -364,6 +364,109 @@ class FusedLIFKernel(Kernel):
         return spikes
 
 
+class AdaptiveLIFKernel(FusedLIFKernel):
+    """Fused adaptive-threshold LIF step (ALIF) — one pass, two state buffers.
+
+    Mirrors :class:`repro.neurons.adaptive.AdaptiveLIF` exactly: the
+    adaptation trace ``a`` decays by ``adaptation_decay`` and increments per
+    emitted spike, the effective threshold is ``theta + adaptation_step * a``,
+    and the reset subtracts the *effective* threshold.  Bit-identity with the
+    dense path requires replicating its exact float expression order — the
+    dense step centres the membrane by ``theta_eff - theta`` (a computed
+    difference, not ``adaptation_step * a`` directly) before the scalar
+    threshold comparison, so this kernel evaluates the same expressions on
+    the same arrays rather than an algebraic simplification of them.
+
+    State is separated from weights like :class:`FusedLIFKernel`: the
+    membrane and adaptation buffers persist across timesteps, are dropped on
+    :meth:`reset`, and reallocate on a shape change (new batch size).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        beta: float,
+        threshold: float,
+        reset_mechanism: str = "subtract",
+        adaptation_step: float = 0.2,
+        adaptation_decay: float = 0.9,
+    ) -> None:
+        super().__init__(name, beta, threshold, reset_mechanism)
+        self.adaptation_step = float(adaptation_step)
+        self.adaptation_decay = float(adaptation_decay)
+        self.adaptation: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self.mem = None
+        self.adaptation = None
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.mem is None or self.mem.shape != frame.shape:
+            self.mem = np.zeros_like(frame)
+            self.adaptation = np.zeros_like(frame)
+        mem = self.mem
+        mem *= self.beta
+        mem += frame
+        # Same expression structure as the dense AdaptiveLIF.step: the
+        # comparison is against the scalar theta after centring by the
+        # computed (theta_eff - theta) difference.
+        theta_eff = self.adaptation * self.adaptation_step + self.threshold
+        centred = mem - (theta_eff - self.threshold)
+        spikes = (centred > self.threshold).astype(frame.dtype)
+        if self.reset_mechanism == "subtract":
+            mem -= spikes * theta_eff
+        elif self.reset_mechanism == "zero":
+            mem *= 1.0 - spikes
+        self.adaptation *= self.adaptation_decay
+        self.adaptation += spikes
+        return spikes
+
+
+class SynapticLIFKernel(FusedLIFKernel):
+    """Fused second-order LIF step: synaptic-current state plus membrane.
+
+    Mirrors :class:`repro.neurons.synaptic.SynapticLIF` —
+    ``i[t+1] = alpha * i[t] + I_in[t]``, ``u[t+1] = beta * u[t] + i[t+1]`` —
+    with the standard threshold/reset of the plain LIF.  Both state arrays
+    persist across timesteps and update in place; the in-place multiply/add
+    sequence is bitwise identical to the dense path's out-of-place chain
+    (identical operands, identical operation order).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        alpha: float,
+        beta: float,
+        threshold: float,
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__(name, beta, threshold, reset_mechanism)
+        self.alpha = float(alpha)
+        self.syn: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self.mem = None
+        self.syn = None
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.mem is None or self.mem.shape != frame.shape:
+            self.mem = np.zeros_like(frame)
+            self.syn = np.zeros_like(frame)
+        syn = self.syn
+        syn *= self.alpha
+        syn += frame
+        mem = self.mem
+        mem *= self.beta
+        mem += syn
+        spikes = (mem > self.threshold).astype(frame.dtype)
+        if self.reset_mechanism == "subtract":
+            mem -= spikes * self.threshold
+        elif self.reset_mechanism == "zero":
+            mem *= 1.0 - spikes
+        return spikes
+
+
 class MaxPoolKernel(Kernel):
     """Non-overlapping max pooling (kernel == stride), no backward mask.
 
@@ -591,6 +694,144 @@ class QuantizedLIFKernel(FusedLIFKernel):
         mem *= self.beta
         np.rint(mem, out=mem)
         mem += frame
+        spikes = mem > self.theta_int
+        if self.reset_mechanism == "subtract":
+            np.subtract(mem, self.theta_int, out=mem, where=spikes)
+        elif self.reset_mechanism == "zero":
+            mem[spikes] = 0.0
+        return spikes.astype(np.float32)
+
+
+class QuantizedAdaptiveLIFKernel(QuantizedLIFKernel):
+    """Adaptive-threshold LIF on the integer grid of its synaptic input.
+
+    The integer-domain analogue of :class:`AdaptiveLIFKernel`: the base
+    threshold rounds onto the upstream output grid exactly like
+    :class:`QuantizedLIFKernel` (``theta_int``), the per-spike threshold
+    increment rounds onto the same grid (``step_int = rint(adaptation_step /
+    scale)`` — an increment below half a quantization step quantizes to
+    zero, degrading gracefully to the plain quantized LIF), and the
+    adaptation trace holds small integers: ``a <- rint(decay * a) + s``.
+    The membrane update, spike comparison against ``theta_int + step_int *
+    a`` and effective-threshold subtraction are then exact integer
+    arithmetic on float carriers, with accumulator bounds derived in
+    :meth:`prepare` (the trace is bounded by its decay fixed point, which
+    bounds the effective threshold and hence the membrane).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        beta: float,
+        threshold: float,
+        reset_mechanism: str = "subtract",
+        upstream: Optional[Kernel] = None,
+        fallback_scale: float = 1.0,
+        adaptation_step: float = 0.2,
+        adaptation_decay: float = 0.9,
+    ) -> None:
+        super().__init__(name, beta, threshold, reset_mechanism, upstream, fallback_scale)
+        self.adaptation_step = float(adaptation_step)
+        self.adaptation_decay = float(adaptation_decay)
+        self.step_int = 0.0
+        self.adaptation: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self.mem = None
+        self.adaptation = None
+
+    def prepare(self) -> None:
+        super().prepare()
+        self.step_int = float(np.rint(self.adaptation_step / self.realized_input_scale))
+        if self.adaptation_decay < 1.0:
+            # Fixed point of a <- rint(decay * a) + 1 (+0.5 rounding slack).
+            trace_bound = (1.0 + 0.5) / (1.0 - self.adaptation_decay)
+        else:
+            trace_bound = float("inf")
+        theta_bound = self.theta_int + self.step_int * trace_bound
+        charge_bound = self.upstream.acc_bound if self.upstream is not None else _FLOAT32_EXACT
+        if self.beta < 1.0 and theta_bound < float("inf"):
+            mem_bound = (charge_bound + theta_bound) / (1.0 - self.beta)
+        else:
+            mem_bound = float("inf")
+        self.mem_dtype = np.dtype(np.float32) if mem_bound < _FLOAT32_EXACT else np.dtype(np.float64)
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.mem is None or self.mem.shape != frame.shape or self.mem.dtype != self.mem_dtype:
+            self.mem = np.zeros(frame.shape, dtype=self.mem_dtype)
+            self.adaptation = np.zeros(frame.shape, dtype=self.mem_dtype)
+        mem = self.mem
+        mem *= self.beta
+        np.rint(mem, out=mem)
+        mem += frame
+        theta_eff = self.adaptation * self.step_int + self.theta_int
+        spikes = mem > theta_eff
+        if self.reset_mechanism == "subtract":
+            np.subtract(mem, theta_eff, out=mem, where=spikes)
+        elif self.reset_mechanism == "zero":
+            mem[spikes] = 0.0
+        trace = self.adaptation
+        trace *= self.adaptation_decay
+        np.rint(trace, out=trace)
+        trace += spikes
+        return spikes.astype(np.float32)
+
+
+class QuantizedSynapticLIFKernel(QuantizedLIFKernel):
+    """Second-order LIF on the integer grid of its synaptic input.
+
+    The integer-domain analogue of :class:`SynapticLIFKernel`: both decays
+    are integer decays (``x <- rint(factor * x)``), so the synaptic current
+    and the membrane stay exact integers at every step.  The synaptic state
+    is bounded by its own decay fixed point, which feeds the membrane's
+    accumulator bound in :meth:`prepare`; ``alpha = 1`` or ``beta = 1``
+    makes the respective state unbounded and forces the float64 carrier.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        alpha: float,
+        beta: float,
+        threshold: float,
+        reset_mechanism: str = "subtract",
+        upstream: Optional[Kernel] = None,
+        fallback_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, beta, threshold, reset_mechanism, upstream, fallback_scale)
+        self.alpha = float(alpha)
+        self.syn: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self.mem = None
+        self.syn = None
+
+    def prepare(self) -> None:
+        super().prepare()
+        charge_bound = self.upstream.acc_bound if self.upstream is not None else _FLOAT32_EXACT
+        if self.alpha < 1.0:
+            # Fixed point of |syn| <= rint(alpha * |syn|) + charge.
+            syn_bound = (charge_bound + 0.5) / (1.0 - self.alpha)
+        else:
+            syn_bound = float("inf")
+        if self.beta < 1.0 and syn_bound < float("inf"):
+            mem_bound = (syn_bound + self.theta_int + 0.5) / (1.0 - self.beta)
+        else:
+            mem_bound = float("inf")
+        self.mem_dtype = np.dtype(np.float32) if mem_bound < _FLOAT32_EXACT else np.dtype(np.float64)
+
+    def run(self, frame: np.ndarray) -> np.ndarray:
+        if self.mem is None or self.mem.shape != frame.shape or self.mem.dtype != self.mem_dtype:
+            self.mem = np.zeros(frame.shape, dtype=self.mem_dtype)
+            self.syn = np.zeros(frame.shape, dtype=self.mem_dtype)
+        syn = self.syn
+        syn *= self.alpha
+        np.rint(syn, out=syn)
+        syn += frame
+        mem = self.mem
+        mem *= self.beta
+        np.rint(mem, out=mem)
+        mem += syn
         spikes = mem > self.theta_int
         if self.reset_mechanism == "subtract":
             np.subtract(mem, self.theta_int, out=mem, where=spikes)

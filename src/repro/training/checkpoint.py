@@ -30,7 +30,8 @@ import numpy as np
 import repro
 from repro.core.network import SpikingCNN, SpikingMLP
 from repro.encoding import DeltaEncoder, DirectEncoder, Encoder, LatencyEncoder, RateEncoder
-from repro.neurons.lif import LIF
+from repro.neurons.base import SpikingNeuron
+from repro.neurons.factory import neuron_descriptor
 from repro.nn.module import Module
 from repro.utils import atomic_write
 
@@ -100,36 +101,47 @@ def build_encoder(spec: Dict[str, Any]) -> Encoder:
 # ---------------------------------------------------------------------- #
 # Model spec
 # ---------------------------------------------------------------------- #
-def _lif_layers(model: Module):
-    return [m for m in model.modules() if isinstance(m, LIF)]
+def _spiking_layers(model: Module):
+    return [m for m in model.modules() if isinstance(m, SpikingNeuron)]
 
 
 def model_spec(model: Module) -> Dict[str, Any]:
     """Plain-data description from which :func:`build_model` reconstructs.
 
-    Captures the constructor arguments plus the LIF flags the constructors
-    do not take (``reset_mechanism``, ``use_fused``), which are re-applied
-    to every spiking layer on load.
+    Captures the constructor arguments — including the spiking substrate
+    (``neuron`` + ``neuron_params``, see :mod:`repro.neurons.factory`) —
+    plus the neuron flags the constructors do not take (``reset_mechanism``,
+    ``use_fused``), which are re-applied to every spiking layer on load.
     """
-    lifs = _lif_layers(model)
+    lifs = _spiking_layers(model)
     if not lifs:
-        raise CheckpointError(f"{type(model).__name__} has no LIF layers to checkpoint")
+        raise CheckpointError(f"{type(model).__name__} has no spiking layers to checkpoint")
     lif = lifs[0]
-    # The spec stores ONE set of LIF settings and re-applies it to every
+    try:
+        neuron, neuron_params = neuron_descriptor(lif)
+    except TypeError as exc:
+        raise CheckpointError(f"cannot checkpoint {type(model).__name__}: {exc}") from None
+    # The spec stores ONE set of neuron settings and re-applies it to every
     # layer on load; a per-layer-mutated model would silently round-trip to
     # a different model, so heterogeneity is a loud error instead.
     for i, other in enumerate(lifs[1:], start=1):
+        try:
+            other_descriptor = neuron_descriptor(other)
+        except TypeError as exc:
+            raise CheckpointError(f"cannot checkpoint {type(model).__name__}: {exc}") from None
         same = (
-            other.beta == lif.beta
+            other_descriptor == (neuron, neuron_params)
+            and other.beta == lif.beta
             and other.threshold == lif.threshold
             and other.reset_mechanism == lif.reset_mechanism
-            and other.use_fused == lif.use_fused
+            and getattr(other, "use_fused", True) == getattr(lif, "use_fused", True)
             and other.surrogate == lif.surrogate
         )
         if not same:
             raise CheckpointError(
-                f"cannot checkpoint {type(model).__name__}: LIF layer {i} differs from "
-                "layer 0 (beta/threshold/reset/surrogate/use_fused must match across layers)"
+                f"cannot checkpoint {type(model).__name__}: spiking layer {i} differs from "
+                "layer 0 (substrate/beta/threshold/reset/surrogate/use_fused must match "
+                "across layers)"
             )
     surrogate = lif.surrogate
     common = {
@@ -137,6 +149,8 @@ def model_spec(model: Module) -> Dict[str, Any]:
         "threshold": float(lif.threshold),
         "surrogate_name": surrogate.name,
         "surrogate_scale": float(surrogate.scale),
+        "neuron": neuron,
+        "neuron_params": neuron_params,
     }
     if isinstance(model, SpikingCNN):
         kwargs = {
@@ -164,12 +178,17 @@ def model_spec(model: Module) -> Dict[str, Any]:
         "class": cls_name,
         "kwargs": kwargs,
         "reset_mechanism": lif.reset_mechanism,
-        "use_fused": bool(lif.use_fused),
+        "use_fused": bool(getattr(lif, "use_fused", True)),
     }
 
 
 def build_model(spec: Dict[str, Any]) -> Module:
-    """Reconstruct an (untrained) model skeleton from :func:`model_spec`."""
+    """Reconstruct an (untrained) model skeleton from :func:`model_spec`.
+
+    Checkpoints written before the substrate field existed carry no
+    ``neuron`` key in their kwargs; the constructors' ``neuron="lif"``
+    default makes those load to exactly the model they saved.
+    """
     classes = {"SpikingCNN": SpikingCNN, "SpikingMLP": SpikingMLP}
     cls = classes.get(spec.get("class"))
     if cls is None:
@@ -178,9 +197,10 @@ def build_model(spec: Dict[str, Any]) -> Module:
     if "conv_channels" in kwargs:
         kwargs["conv_channels"] = tuple(kwargs["conv_channels"])
     model = cls(**kwargs)
-    for lif in _lif_layers(model):
+    for lif in _spiking_layers(model):
         lif.reset_mechanism = spec.get("reset_mechanism", lif.reset_mechanism)
-        lif.use_fused = bool(spec.get("use_fused", lif.use_fused))
+        if hasattr(lif, "use_fused"):
+            lif.use_fused = bool(spec.get("use_fused", lif.use_fused))
     return model
 
 

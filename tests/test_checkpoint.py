@@ -116,7 +116,7 @@ def test_encoder_spec_round_trip_preserves_kwargs():
 def test_unsupported_model_rejected(tmp_path):
     from repro.nn.linear import Linear
 
-    with pytest.raises(CheckpointError, match="no LIF layers"):
+    with pytest.raises(CheckpointError, match="no spiking layers"):
         save_checkpoint(tmp_path / "x.npz", Linear(4, 2))
 
 

@@ -2,9 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.autograd import Tensor
-from repro.neurons import IF, LIF, SynapticLIF
+from repro.neurons import IF, LIF, AdaptiveLIF, SynapticLIF
 from repro.surrogate import FastSigmoid
 
 
@@ -177,3 +178,144 @@ class TestSynapticLIF:
     def test_repr_contains_parameters(self):
         text = repr(SynapticLIF(alpha=0.8, beta=0.4))
         assert "alpha=0.8" in text and "beta=0.4" in text
+
+
+# ---------------------------------------------------------------------- #
+# Property-based dynamics of the runtime-compilable substrates
+# ---------------------------------------------------------------------- #
+def _drive_sequence(seed: int, steps: int = 8, shape=(2, 6)) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((steps,) + shape).astype(np.float32)
+
+
+def _spike_train(neuron, drive: np.ndarray) -> np.ndarray:
+    neuron.reset_state()
+    return np.stack([neuron.step(Tensor(frame)).numpy() for frame in drive])
+
+
+class TestAdaptiveLIFProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        decay=st.floats(min_value=0.0, max_value=0.99),
+        step=st.floats(min_value=0.01, max_value=1.0),
+        beta=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_threshold_trace_decays_monotonically_absent_spikes(self, decay, step, beta):
+        """With silent input after a spike, the adaptation trace only decays."""
+        neuron = AdaptiveLIF(
+            beta=beta, threshold=0.5, adaptation_step=step, adaptation_decay=decay,
+            reset_mechanism="zero",
+        )
+        neuron.step(Tensor([[5.0]]))  # force one spike to charge the trace
+        assert neuron.adaptation.numpy()[0, 0] == pytest.approx(1.0)
+        previous = neuron.adaptation.numpy()[0, 0]
+        for _ in range(6):
+            spikes = neuron.step(Tensor([[0.0]]))
+            assert spikes.numpy()[0, 0] == 0.0
+            current = neuron.adaptation.numpy()[0, 0]
+            assert current <= previous
+            assert current == pytest.approx(previous * decay)
+            previous = current
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        beta=st.floats(min_value=0.0, max_value=1.0),
+        decay=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_zero_adaptation_step_reduces_exactly_to_lif(self, beta, decay, seed):
+        """step = 0 is dynamically LIF: spike trains must match bitwise."""
+        drive = _drive_sequence(seed)
+        adaptive = AdaptiveLIF(beta=beta, threshold=1.0, adaptation_step=0.0, adaptation_decay=decay)
+        plain = LIF(beta=beta, threshold=1.0)
+        np.testing.assert_array_equal(_spike_train(adaptive, drive), _spike_train(plain, drive))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_adaptation_throttles_firing(self, seed):
+        """A strong adaptation step can only reduce total spike output."""
+        drive = _drive_sequence(seed, steps=12)
+        adaptive = AdaptiveLIF(beta=0.5, threshold=0.5, adaptation_step=1.0, adaptation_decay=0.95)
+        plain = LIF(beta=0.5, threshold=0.5)
+        assert _spike_train(adaptive, drive).sum() <= _spike_train(plain, drive).sum()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveLIF(adaptation_step=-0.1)
+        with pytest.raises(ValueError):
+            AdaptiveLIF(adaptation_decay=1.5)
+
+
+class TestSynapticLIFProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        beta=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_instantaneous_synaptic_decay_reduces_exactly_to_lif(self, beta, seed):
+        """alpha = 0: the synaptic state passes input straight through."""
+        drive = _drive_sequence(seed)
+        synaptic = SynapticLIF(alpha=0.0, beta=beta, threshold=1.0)
+        plain = LIF(beta=beta, threshold=1.0)
+        np.testing.assert_array_equal(_spike_train(synaptic, drive), _spike_train(plain, drive))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_synaptic_state_decays_when_silent(self, alpha, seed):
+        neuron = SynapticLIF(alpha=alpha, beta=0.0, threshold=100.0)
+        neuron.step(Tensor(_drive_sequence(seed, steps=1)[0]))
+        previous = neuron.state.syn.numpy().copy()
+        for _ in range(4):
+            neuron.step(Tensor(np.zeros_like(previous)))
+            current = neuron.state.syn.numpy()
+            assert np.all(current <= previous + 1e-12)
+            np.testing.assert_allclose(current, previous * alpha, rtol=1e-6)
+            previous = current.copy()
+
+
+class TestSurrogateGradientsFinite:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        beta=st.floats(min_value=0.05, max_value=0.95),
+        scale=st.floats(min_value=0.1, max_value=25.0),
+        step=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_adaptive_gradients_finite_across_sweep_grid(self, beta, scale, step, seed):
+        neuron = AdaptiveLIF(
+            beta=beta, threshold=1.0, surrogate=FastSigmoid(scale),
+            adaptation_step=step, adaptation_decay=0.9,
+        )
+        drive = _drive_sequence(seed, steps=5, shape=(1, 4))
+        inputs = [Tensor(frame, requires_grad=True) for frame in drive]
+        total = None
+        for x in inputs:
+            s = neuron.step(x)
+            total = s if total is None else total + s
+        total.sum().backward()
+        for x in inputs:
+            assert x.grad is not None
+            assert np.all(np.isfinite(x.grad))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        beta=st.floats(min_value=0.05, max_value=0.95),
+        scale=st.floats(min_value=0.1, max_value=25.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_synaptic_gradients_finite_across_sweep_grid(self, alpha, beta, scale, seed):
+        neuron = SynapticLIF(alpha=alpha, beta=beta, threshold=1.0, surrogate=FastSigmoid(scale))
+        drive = _drive_sequence(seed, steps=5, shape=(1, 4))
+        inputs = [Tensor(frame, requires_grad=True) for frame in drive]
+        total = None
+        for x in inputs:
+            s = neuron.step(x)
+            total = s if total is None else total + s
+        total.sum().backward()
+        for x in inputs:
+            assert x.grad is not None
+            assert np.all(np.isfinite(x.grad))

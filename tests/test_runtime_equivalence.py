@@ -186,11 +186,15 @@ class TestRuntimeBehaviour:
             compiled.run(np.zeros((8,), dtype=np.float32))
 
     def test_unsupported_model_raises_compile_error(self):
-        from repro.neurons.synaptic import SynapticLIF
+        # SynapticLIF/AdaptiveLIF now lower (tests/test_runtime_neurons.py);
+        # a learned beta remains outside the runtime's contract.
+        from repro.neurons.lif import LIF
         from repro.nn.linear import Linear
         from repro.nn.sequential import Sequential
         from repro.runtime import RuntimeCompileError
 
-        model = Sequential(Linear(4, 4), SynapticLIF())
-        with pytest.raises(RuntimeCompileError):
+        layer = LIF()
+        layer.learn_beta = True
+        model = Sequential(Linear(4, 4), layer)
+        with pytest.raises(RuntimeCompileError, match="learned beta"):
             compile_network(model)

@@ -1,0 +1,325 @@
+"""Cross-substrate equivalence matrix for the event-driven runtime.
+
+Every supported spiking substrate ({LIF, IF, AdaptiveLIF, SynapticLIF}) x
+both model families x all four encoders must satisfy the runtime's
+contract: the compiled plan's spike trains are bit-identical to the dense
+forward at fp32, fp64 predictions agree on the same paired spikes, and the
+integer precisions replay bit-deterministically with high paired-spike
+agreement against the fp64 reference.  Also covers checkpoint round-trip
+bit-identity for the substrate-specific neuron parameters and serving a
+compiled adaptive model through the registry/gateway stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import make_encoder, make_model
+from repro.core.network import SpikingCNN, SpikingMLP
+from repro.encoding import DeltaEncoder, DirectEncoder, LatencyEncoder, RateEncoder
+from repro.neurons import IF, AdaptiveLIF, LIF, SynapticLIF, neuron_descriptor
+from repro.neurons.base import SpikingNeuron
+from repro.runtime import (
+    AdaptiveLIFKernel,
+    QuantizedAdaptiveLIFKernel,
+    QuantizedSynapticLIFKernel,
+    SynapticLIFKernel,
+    compile_network,
+    default_input_scale,
+)
+from repro.serve import ModelRegistry, ServeGateway
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+
+ENCODER_CLASSES = {
+    "rate": RateEncoder,
+    "latency": LatencyEncoder,
+    "delta": DeltaEncoder,
+    "direct": DirectEncoder,
+}
+
+#: Substrate name -> (neuron kwarg, non-default substrate params) so the
+#: matrix exercises real parameter threading, not just defaults.
+SUBSTRATES = {
+    "lif": {},
+    "if": {},
+    "adaptive": {"adaptation_step": 0.3, "adaptation_decay": 0.8},
+    "synaptic": {"alpha": 0.6},
+}
+
+EXPECTED_LAYER_CLASSES = {
+    "lif": LIF,
+    "if": IF,
+    "adaptive": AdaptiveLIF,
+    "synaptic": SynapticLIF,
+}
+
+INT_PRECISIONS = ("int8", "int16")
+
+
+def _make_model(kind: str, neuron: str):
+    params = SUBSTRATES[neuron]
+    if kind == "cnn":
+        return SpikingCNN(
+            image_size=8,
+            conv_channels=(3, 4),
+            hidden_units=16,
+            beta=0.5,
+            threshold=1.2,
+            seed=7,
+            neuron=neuron,
+            neuron_params=params,
+        )
+    return SpikingMLP(
+        in_features=12,
+        hidden_units=10,
+        num_classes=4,
+        beta=0.3,
+        threshold=0.9,
+        seed=3,
+        neuron=neuron,
+        neuron_params=params,
+    )
+
+
+def _images(kind: str, rng: np.random.Generator, count: int = 8) -> np.ndarray:
+    if kind == "cnn":
+        return rng.random((count, 3, 8, 8), dtype=np.float32)
+    return rng.random((count, 12), dtype=np.float32)
+
+
+def dense_forward_with_trains(model, spikes: np.ndarray):
+    """Run the dense forward, capturing each spiking layer's full train."""
+    trains = {name: [] for name, module in model.named_modules() if isinstance(module, SpikingNeuron)}
+    originals = {}
+
+    def make_recorder(name, original):
+        def recorder(spike_tensor):
+            trains[name].append(spike_tensor.data.copy())
+            original(spike_tensor)
+
+        return recorder
+
+    for name, module in model.named_modules():
+        if isinstance(module, SpikingNeuron):
+            originals[name] = module._record
+            module._record = make_recorder(name, module._record)
+    try:
+        model.reset_spiking_state()
+        with no_grad():
+            counts = model(Tensor(spikes)).data
+    finally:
+        for name, module in model.named_modules():
+            if isinstance(module, SpikingNeuron):
+                module._record = originals[name]
+    return counts, {name: np.stack(steps) for name, steps in trains.items()}
+
+
+# ---------------------------------------------------------------------- #
+# The fp32 equivalence matrix: substrate x model x encoder
+# ---------------------------------------------------------------------- #
+class TestSubstrateMatrix:
+    @pytest.mark.parametrize("encoder_name", sorted(ENCODER_CLASSES))
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    @pytest.mark.parametrize("neuron", sorted(SUBSTRATES))
+    def test_fp32_bit_identity_with_dense_forward(self, rng, neuron, kind, encoder_name):
+        model = _make_model(kind, neuron)
+        model.eval()
+        encoder = ENCODER_CLASSES[encoder_name](num_steps=4, seed=11)
+        spikes = encoder(_images(kind, rng))
+
+        dense_counts, dense_trains = dense_forward_with_trains(model, spikes)
+        result = compile_network(model).run(spikes, collect_spike_trains=True)
+
+        np.testing.assert_array_equal(dense_counts, result.counts)
+        assert set(result.spike_trains) == set(dense_trains)
+        for name, train in dense_trains.items():
+            assert np.array_equal(
+                train, result.spike_trains[name]
+            ), f"{neuron}/{kind}/{encoder_name}: spike train differs in {name}"
+
+    @pytest.mark.parametrize("neuron", sorted(SUBSTRATES))
+    def test_substrate_constructs_expected_layers(self, neuron):
+        model = _make_model("mlp", neuron)
+        for layer in (model.lif1, model.lif_out):
+            assert type(layer) is EXPECTED_LAYER_CLASSES[neuron]
+        found_name, found_params = neuron_descriptor(model.lif1)
+        assert found_name == neuron
+        for key, value in SUBSTRATES[neuron].items():
+            assert found_params[key] == pytest.approx(value)
+
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    def test_adaptive_lowering_uses_fused_adaptive_kernels(self, kind):
+        plan = compile_network(_make_model(kind, "adaptive"))
+        spiking = [k for k in plan.kernels if k.is_spiking_stage]
+        assert spiking and all(type(k) is AdaptiveLIFKernel for k in spiking)
+
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    def test_synaptic_lowering_uses_fused_synaptic_kernels(self, kind):
+        plan = compile_network(_make_model(kind, "synaptic"))
+        spiking = [k for k in plan.kernels if k.is_spiking_stage]
+        assert spiking and all(type(k) is SynapticLIFKernel for k in spiking)
+
+    @pytest.mark.parametrize("reset", ["subtract", "zero", "none"])
+    @pytest.mark.parametrize("neuron", ["adaptive", "synaptic"])
+    def test_reset_mechanisms_bit_identical(self, rng, neuron, reset):
+        model = _make_model("mlp", neuron)
+        for module in model.modules():
+            if isinstance(module, SpikingNeuron):
+                module.reset_mechanism = reset
+        model.eval()
+        spikes = (rng.random((5, 4, 12)) < 0.3).astype(np.float32)
+        dense_counts, dense_trains = dense_forward_with_trains(model, spikes)
+        result = compile_network(model).run(spikes, collect_spike_trains=True)
+        np.testing.assert_array_equal(dense_counts, result.counts)
+        for name, train in dense_trains.items():
+            assert np.array_equal(train, result.spike_trains[name])
+
+
+# ---------------------------------------------------------------------- #
+# IF regression: compiles today, stays bit-identical across precisions
+# ---------------------------------------------------------------------- #
+class TestIFRegression:
+    """IF passes the LIF lowering as a subclass — keep that covered explicitly."""
+
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    def test_if_compiles_and_matches_dense_fp32(self, rng, kind):
+        model = _make_model(kind, "if")
+        model.eval()
+        encoder = RateEncoder(num_steps=4, seed=5)
+        spikes = encoder(_images(kind, rng))
+        dense_counts, dense_trains = dense_forward_with_trains(model, spikes)
+        result = compile_network(model).run(spikes, collect_spike_trains=True)
+        np.testing.assert_array_equal(dense_counts, result.counts)
+        for name, train in dense_trains.items():
+            assert np.array_equal(train, result.spike_trains[name])
+
+    @pytest.mark.parametrize("precision", ("fp64",) + INT_PRECISIONS)
+    def test_if_across_precisions(self, rng, precision):
+        """Non-fp32 plans compile, replay deterministically, and agree."""
+        encoder = RateEncoder(num_steps=4, seed=6)
+        spikes = encoder(_images("mlp", rng))
+        input_scale = default_input_scale(encoder)
+        reference = compile_network(_make_model("mlp", "if"), precision="fp64")
+        if precision == "fp64":
+            plan = reference
+        else:
+            plan = compile_network(
+                _make_model("mlp", "if"), precision=precision, input_scale=input_scale
+            )
+        out = plan.run(spikes, record_activity=False)
+        replay = plan.run(spikes, record_activity=False)
+        np.testing.assert_array_equal(out.counts, replay.counts)
+        ref = reference.run(spikes, record_activity=False)
+        agreement = float(np.mean(ref.predictions() == out.predictions()))
+        assert agreement >= 0.9, f"if/{precision}: agreement {agreement}"
+
+
+# ---------------------------------------------------------------------- #
+# Integer precisions for the new substrates
+# ---------------------------------------------------------------------- #
+class TestQuantizedSubstrates:
+    @pytest.mark.parametrize("precision", INT_PRECISIONS)
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    @pytest.mark.parametrize("neuron", ["adaptive", "synaptic"])
+    def test_integer_agreement_with_fp64(self, rng, neuron, kind, precision):
+        encoder = RateEncoder(num_steps=6, seed=11)
+        spikes = encoder(_images(kind, rng, count=16))
+        input_scale = default_input_scale(encoder)
+
+        reference = compile_network(_make_model(kind, neuron), precision="fp64")
+        quantized = compile_network(
+            _make_model(kind, neuron), precision=precision, input_scale=input_scale
+        )
+        expected_kernel = (
+            QuantizedAdaptiveLIFKernel if neuron == "adaptive" else QuantizedSynapticLIFKernel
+        )
+        spiking = [k for k in quantized.kernels if k.is_spiking_stage]
+        assert spiking and all(type(k) is expected_kernel for k in spiking)
+
+        ref = reference.run(spikes, record_activity=False)
+        out = quantized.run(spikes, record_activity=False)
+        replay = quantized.run(spikes, record_activity=False)
+        np.testing.assert_array_equal(out.counts, replay.counts)
+        np.testing.assert_array_equal(out.counts, np.rint(out.counts))
+
+        # Untrained micro-models spike so sparsely that argmax ties add
+        # noise to paired predictions; the strict accuracy bar for trained
+        # models is check_accuracy_delta (tests/test_quantized_runtime.py).
+        agreement = float(np.mean(ref.predictions() == out.predictions()))
+        assert agreement >= 0.85, f"{neuron}/{kind}/{precision}: agreement {agreement}"
+
+    def test_zero_step_adaptive_matches_plain_lif_plan(self, rng):
+        """An AdaptiveLIF with step 0 must execute exactly like LIF."""
+        adaptive = SpikingMLP(
+            in_features=12, hidden_units=10, num_classes=4, beta=0.3, threshold=0.9,
+            seed=3, neuron="adaptive", neuron_params={"adaptation_step": 0.0},
+        )
+        plain = SpikingMLP(
+            in_features=12, hidden_units=10, num_classes=4, beta=0.3, threshold=0.9, seed=3
+        )
+        spikes = (rng.random((6, 4, 12)) < 0.4).astype(np.float32)
+        out_a = compile_network(adaptive).run(spikes, collect_spike_trains=True)
+        out_p = compile_network(plain).run(spikes, collect_spike_trains=True)
+        np.testing.assert_array_equal(out_a.counts, out_p.counts)
+        for name in out_p.spike_trains:
+            np.testing.assert_array_equal(out_a.spike_trains[name], out_p.spike_trains[name])
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint round-trip of the substrate parameters
+# ---------------------------------------------------------------------- #
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    @pytest.mark.parametrize("neuron", sorted(SUBSTRATES))
+    def test_round_trip_is_bit_identical(self, tmp_path, rng, neuron, kind):
+        model = _make_model(kind, neuron)
+        model.eval()
+        encoder = RateEncoder(num_steps=4, seed=2)
+        path = save_checkpoint(tmp_path / f"{neuron}-{kind}.npz", model, encoder)
+        reloaded, reloaded_encoder, _ = load_checkpoint(path)
+
+        assert type(reloaded) is type(model)
+        for orig, back in zip(
+            (m for m in model.modules() if isinstance(m, SpikingNeuron)),
+            (m for m in reloaded.modules() if isinstance(m, SpikingNeuron)),
+        ):
+            assert neuron_descriptor(back) == neuron_descriptor(orig)
+            assert back.beta == orig.beta and back.threshold == orig.threshold
+
+        spikes = reloaded_encoder(_images(kind, rng))
+        original_run = compile_network(model).run(spikes, collect_spike_trains=True)
+        reloaded_run = compile_network(reloaded).run(spikes, collect_spike_trains=True)
+        np.testing.assert_array_equal(original_run.counts, reloaded_run.counts)
+        for name, train in original_run.spike_trains.items():
+            assert np.array_equal(train, reloaded_run.spike_trains[name])
+
+
+# ---------------------------------------------------------------------- #
+# Serving compiled adaptive models through the registry/gateway stack
+# ---------------------------------------------------------------------- #
+class TestServingAdaptiveModels:
+    @pytest.mark.parametrize("neuron", ["adaptive", "synaptic"])
+    def test_gateway_serves_new_substrates(self, tmp_path, micro_scale, rng, neuron):
+        config = ExperimentConfig(scale=micro_scale, seed=0, neuron=neuron)
+        model = make_model(config)
+        model.eval()
+        encoder = make_encoder(config)  # direct: deterministic per-request encoding
+        registry = ModelRegistry(tmp_path)
+        registry.save(f"{neuron}-model", model, encoder, config=config)
+
+        images = [
+            rng.random((3, micro_scale.image_size, micro_scale.image_size), dtype=np.float32)
+            for _ in range(3)
+        ]
+        plan = compile_network(model)
+        expected = np.stack(
+            [plan.run(encoder(image[None]), record_activity=False).counts[0] for image in images]
+        )
+        with ServeGateway(registry, max_batch=2, max_wait_ms=1.0) as gateway:
+            served = np.stack(
+                [gateway.submit(f"{neuron}-model", image).result(timeout=30).counts for image in images]
+            )
+        np.testing.assert_array_equal(served, expected)
